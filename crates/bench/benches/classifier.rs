@@ -1,0 +1,67 @@
+//! Micro-benchmark: multi-field classification — linear first-match scan
+//! versus the hierarchical-trie classifier (§III.D), across policy-table
+//! sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sdm_netsim::{FiveTuple, Ipv4Addr, Prefix, Protocol};
+use sdm_policy::{
+    ActionList, NetworkFunction, Policy, PolicySet, PortMatch, TrafficDescriptor, TrieClassifier,
+};
+
+fn synthetic_policies(n: usize) -> PolicySet {
+    let mut set = PolicySet::new();
+    for i in 0..n {
+        let src = Prefix::new(Ipv4Addr(0x0a00_0000 | ((i as u32 * 4096) & 0xFF_FFFF)), 20);
+        set.push(Policy::new(
+            TrafficDescriptor::new()
+                .src_prefix(src)
+                .dst_port(PortMatch::Exact((i % 1024) as u16)),
+            ActionList::chain([NetworkFunction::Ids]),
+        ));
+    }
+    set
+}
+
+fn sample_packets(n: usize) -> Vec<FiveTuple> {
+    (0..n as u32)
+        .map(|i| FiveTuple {
+            src: Ipv4Addr(0x0a00_0000 | ((i * 97) & 0xF_FFFF)),
+            dst: Ipv4Addr(0x0a00_0000 | ((i * 131) & 0xF_FFFF)),
+            src_port: (i % 50_000) as u16,
+            dst_port: ((i % 64) * 16) as u16,
+            proto: Protocol::Tcp,
+        })
+        .collect()
+}
+
+fn bench_classifiers(c: &mut Criterion) {
+    let packets = sample_packets(1024);
+    let mut group = c.benchmark_group("classifier");
+    for n in [32usize, 256, 2048] {
+        let set = synthetic_policies(n);
+        let trie = TrieClassifier::build(&set);
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % packets.len();
+                black_box(set.first_match(&packets[i]))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("trie", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % packets.len();
+                black_box(trie.classify(&packets[i]))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| black_box(TrieClassifier::build(&set)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifiers);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benchmark wrapper for the steering-encoding ablation: runtime cost of
+//! steering one workload under IP-over-IP, label switching and strict
+//! source routing. The full-detail table comes from the `label_switching`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sdm_bench::{ExperimentConfig, World};
+use sdm_core::{EnforcementOptions, SteeringEncoding, Strategy};
+use sdm_netsim::SimTime;
+use sdm_workload::WorkloadConfig;
+
+fn bench_encodings(c: &mut Criterion) {
+    let world = World::build(&ExperimentConfig::campus(3));
+    let flows = sdm_workload::generate_flows(
+        &world.generated,
+        world.controller.addr_plan(),
+        &WorkloadConfig {
+            flows: 100,
+            seed: 5,
+            ..Default::default()
+        },
+    );
+    let mut group = c.benchmark_group("encodings");
+    group.sample_size(10);
+    for (name, encoding) in [
+        ("ip_over_ip", SteeringEncoding::IpOverIp),
+        ("label_switching", SteeringEncoding::LabelSwitching),
+        ("source_routing", SteeringEncoding::SourceRouting),
+    ] {
+        group.bench_with_input(BenchmarkId::new("steer_100_flows_x20", name), &encoding, |b, &enc| {
+            b.iter(|| {
+                let mut enf = world.controller.enforcement(
+                    Strategy::HotPotato,
+                    None,
+                    EnforcementOptions {
+                        encoding: enc,
+                        ..Default::default()
+                    },
+                );
+                for (i, f) in flows.iter().enumerate() {
+                    enf.inject_flow_packets(f.five_tuple, 20, 500, SimTime(i as u64), 100);
+                }
+                enf.run();
+                black_box(enf.sim().stats().delivered)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encodings);
+criterion_main!(benches);

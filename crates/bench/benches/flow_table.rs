@@ -1,0 +1,74 @@
+//! Micro-benchmark: the §III.D flow cache — hit-path lookups, miss-path
+//! insert, and the flow-hash itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdm_netsim::{FiveTuple, Ipv4Addr, Protocol, SimTime};
+use sdm_policy::{ActionList, FlowTable, NetworkFunction, PolicyId};
+
+fn flows(n: usize) -> Vec<FiveTuple> {
+    (0..n as u32)
+        .map(|i| FiveTuple {
+            src: Ipv4Addr(0x0a00_0000 + i),
+            dst: Ipv4Addr(0x0a10_0000 + (i % 999)),
+            src_port: (1000 + i % 50_000) as u16,
+            dst_port: 80,
+            proto: Protocol::Tcp,
+        })
+        .collect()
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let fts = flows(10_000);
+    let mut group = c.benchmark_group("flow_table");
+
+    group.bench_function("lookup_hit", |b| {
+        let mut table = FlowTable::new(u64::MAX / 2);
+        for ft in &fts {
+            table.insert_positive(
+                *ft,
+                PolicyId(0),
+                ActionList::chain([NetworkFunction::Firewall]),
+                SimTime(0),
+            );
+        }
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % fts.len();
+            black_box(table.lookup(&fts[i], SimTime(1), 1).is_some())
+        })
+    });
+
+    group.bench_function("lookup_miss", |b| {
+        let mut table = FlowTable::new(u64::MAX / 2);
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % fts.len();
+            black_box(table.lookup(&fts[i], SimTime(1), 1).is_none())
+        })
+    });
+
+    group.bench_function("insert_positive", |b| {
+        let mut table = FlowTable::new(u64::MAX / 2);
+        let actions = ActionList::chain([NetworkFunction::Firewall, NetworkFunction::Ids]);
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % fts.len();
+            table.insert_positive(fts[i], PolicyId(0), actions.clone(), SimTime(0));
+        })
+    });
+
+    group.bench_function("stable_hash", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % fts.len();
+            black_box(fts[i].stable_hash())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_table);
+criterion_main!(benches);

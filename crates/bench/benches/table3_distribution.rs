@@ -1,0 +1,41 @@
+//! Benchmark wrapper for the **Table III** pipeline (campus load
+//! distribution) at a reduced volume, printing the reduced-scale table.
+//! The canonical full-scale table is produced by
+//! `cargo run --release -p sdm-bench --bin table3_distribution`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdm_bench::{ExperimentConfig, World, PLOT_ORDER};
+
+fn bench_table3(c: &mut Criterion) {
+    let world = World::build(&ExperimentConfig::campus(3));
+    let flows = world.flows(200_000, 42);
+    let cmp = world.compare_strategies(&flows);
+    eprintln!("table3 (reduced 200k pkts): type max/min per strategy");
+    for f in PLOT_ORDER {
+        eprintln!(
+            "  {:<4} HP {:>8}/{:<8} Rand {:>8}/{:<8} LB {:>8}/{:<8}",
+            f.abbrev(),
+            cmp.hp.report.row(f).map_or(0, |r| r.max),
+            cmp.hp.report.row(f).map_or(0, |r| r.min),
+            cmp.rand.report.row(f).map_or(0, |r| r.max),
+            cmp.rand.report.row(f).map_or(0, |r| r.min),
+            cmp.lb.report.row(f).map_or(0, |r| r.max),
+            cmp.lb.report.row(f).map_or(0, |r| r.min),
+        );
+    }
+
+    let mut group = c.benchmark_group("table3_distribution");
+    group.sample_size(10);
+    group.bench_function("load_distribution_200k", |b| {
+        b.iter(|| {
+            let cmp = world.compare_strategies(&flows);
+            black_box(cmp.lb.report.overall_max())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,335 @@
+//! Middlebox deployment description: which software-defined middleboxes
+//! exist, what functions they implement, where they attach, and their
+//! processing capacities (§III.A).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sdm_netsim::Attachment;
+use sdm_policy::NetworkFunction;
+use sdm_topology::{NetworkPlan, NodeId};
+
+/// Identifier of a middlebox (dense index within a [`Deployment`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MiddleboxId(pub u32);
+
+impl MiddleboxId {
+    /// Dense index of the middlebox.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MiddleboxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// How a middlebox is wired to the simulator; serialized configs store the
+/// variant name.
+fn default_attachment() -> String {
+    "off-path".to_string()
+}
+
+/// Static description of one software-defined middlebox.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MiddleboxSpec {
+    /// Functions this middlebox implements (non-empty). The paper's
+    /// evaluation uses single-function middleboxes; multi-function boxes
+    /// are supported and apply consecutive chain functions locally.
+    pub functions: BTreeSet<NetworkFunction>,
+    /// The router it attaches to (core routers in the paper's evaluation).
+    pub router: NodeId,
+    /// Processing capacity `C(x)` in packets per measurement epoch.
+    pub capacity: f64,
+    /// In-path or off-path attachment (§III.A); stored as a string for
+    /// serde-friendliness, parsed by [`MiddleboxSpec::attachment`].
+    #[serde(default = "default_attachment")]
+    pub attachment_kind: String,
+}
+
+impl MiddleboxSpec {
+    /// A single-function, off-path middlebox.
+    pub fn new(function: NetworkFunction, router: NodeId, capacity: f64) -> Self {
+        MiddleboxSpec {
+            functions: BTreeSet::from([function]),
+            router,
+            capacity,
+            attachment_kind: default_attachment(),
+        }
+    }
+
+    /// Switches the attachment mode.
+    pub fn in_path(mut self) -> Self {
+        self.attachment_kind = "in-path".to_string();
+        self
+    }
+
+    /// The parsed attachment mode (defaults to off-path on unknown values).
+    pub fn attachment(&self) -> Attachment {
+        if self.attachment_kind == "in-path" {
+            Attachment::InPath
+        } else {
+            Attachment::OffPath
+        }
+    }
+
+    /// True if the box implements `f`.
+    pub fn implements(&self, f: NetworkFunction) -> bool {
+        self.functions.contains(&f)
+    }
+}
+
+/// The complete middlebox deployment over a network.
+///
+/// # Example
+///
+/// The paper's evaluation deployment (4 WP, 7 FW, 7 IDS, 4 TM on random
+/// core routers):
+///
+/// ```
+/// use sdm_core::Deployment;
+/// let plan = sdm_topology::campus::campus(1);
+/// let dep = Deployment::evaluation_default(&plan, 7);
+/// assert_eq!(dep.len(), 22);
+/// assert_eq!(dep.offering(sdm_policy::NetworkFunction::Firewall).len(), 7);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Deployment {
+    specs: Vec<MiddleboxSpec>,
+    /// Middleboxes currently marked failed: they keep their ids but are
+    /// excluded from [`Deployment::offering`], so assignments and LPs
+    /// computed against this deployment route around them.
+    #[serde(default)]
+    failed: BTreeSet<MiddleboxId>,
+}
+
+impl Deployment {
+    /// An empty deployment; add boxes with [`Deployment::add`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a middlebox, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec implements no function or has a non-positive
+    /// capacity.
+    pub fn add(&mut self, spec: MiddleboxSpec) -> MiddleboxId {
+        assert!(
+            !spec.functions.is_empty(),
+            "middlebox must implement at least one function"
+        );
+        assert!(spec.capacity > 0.0, "capacity must be positive");
+        let id = MiddleboxId(self.specs.len() as u32);
+        self.specs.push(spec);
+        id
+    }
+
+    /// Number of middleboxes.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True if no middleboxes are deployed.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The spec of a middlebox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn spec(&self, id: MiddleboxId) -> &MiddleboxSpec {
+        &self.specs[id.index()]
+    }
+
+    /// Iterates over `(id, spec)`.
+    pub fn iter(&self) -> impl Iterator<Item = (MiddleboxId, &MiddleboxSpec)> + '_ {
+        self.specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (MiddleboxId(i as u32), s))
+    }
+
+    /// All *available* middleboxes offering function `e` — the paper's
+    /// `M^e`, excluding boxes marked failed.
+    pub fn offering(&self, e: NetworkFunction) -> Vec<MiddleboxId> {
+        self.iter()
+            .filter(|(id, s)| s.implements(e) && !self.failed.contains(id))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Marks a middlebox as failed: it keeps its id but disappears from
+    /// every [`Deployment::offering`] set, so recomputed assignments and
+    /// LPs route around it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn fail(&mut self, id: MiddleboxId) {
+        assert!(id.index() < self.specs.len(), "unknown middlebox {id}");
+        self.failed.insert(id);
+    }
+
+    /// Clears a failure mark.
+    pub fn restore(&mut self, id: MiddleboxId) {
+        self.failed.remove(&id);
+    }
+
+    /// Whether a middlebox is currently marked failed.
+    pub fn is_failed(&self, id: MiddleboxId) -> bool {
+        self.failed.contains(&id)
+    }
+
+    /// The set of functions deployed anywhere — the paper's Π.
+    pub fn functions(&self) -> BTreeSet<NetworkFunction> {
+        self.specs
+            .iter()
+            .flat_map(|s| s.functions.iter().copied())
+            .collect()
+    }
+
+    /// The paper's evaluation deployment (§IV.A): 4 web proxies, 7
+    /// firewalls, 7 IDSes and 4 traffic monitors, each attached to a
+    /// randomly chosen core router, all with equal capacity.
+    ///
+    /// Capacity is set to 1.0 for every box; since the LP minimizes the
+    /// *relative* load factor λ and the paper reports absolute packet
+    /// loads, a uniform capacity reproduces its setting.
+    pub fn evaluation_default(plan: &NetworkPlan, seed: u64) -> Self {
+        Self::evaluation_with_counts(plan, seed, &[4, 7, 7, 4])
+    }
+
+    /// Like [`Deployment::evaluation_default`] with explicit per-function
+    /// counts in the order WP, FW, IDS, TM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no core routers.
+    pub fn evaluation_with_counts(plan: &NetworkPlan, seed: u64, counts: &[usize; 4]) -> Self {
+        assert!(
+            !plan.cores().is_empty(),
+            "deployment requires core routers to attach middleboxes to"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dep = Deployment::new();
+        let order = [
+            (NetworkFunction::WebProxy, counts[0]),
+            (NetworkFunction::Firewall, counts[1]),
+            (NetworkFunction::Ids, counts[2]),
+            (NetworkFunction::TrafficMonitor, counts[3]),
+        ];
+        for (f, n) in order {
+            for _ in 0..n {
+                let router = plan.cores()[rng.gen_range(0..plan.cores().len())];
+                dep.add(MiddleboxSpec::new(f, router, 1.0));
+            }
+        }
+        dep
+    }
+}
+
+impl fmt::Display for Deployment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "deployment: {} middleboxes", self.specs.len())?;
+        for (id, s) in self.iter() {
+            let fns: Vec<String> = s.functions.iter().map(|g| g.abbrev()).collect();
+            writeln!(
+                f,
+                "  {id} [{}] at n{} cap={} ({})",
+                fns.join("+"),
+                s.router.index(),
+                s.capacity,
+                s.attachment_kind
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdm_policy::NetworkFunction::*;
+    use sdm_topology::campus::campus;
+
+    #[test]
+    fn evaluation_counts_match_paper() {
+        let plan = campus(1);
+        let dep = Deployment::evaluation_default(&plan, 3);
+        assert_eq!(dep.offering(WebProxy).len(), 4);
+        assert_eq!(dep.offering(Firewall).len(), 7);
+        assert_eq!(dep.offering(Ids).len(), 7);
+        assert_eq!(dep.offering(TrafficMonitor).len(), 4);
+        assert_eq!(dep.functions().len(), 4);
+        // all attached to core routers
+        for (_, s) in dep.iter() {
+            assert!(plan.cores().contains(&s.router));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let plan = campus(1);
+        let a = Deployment::evaluation_default(&plan, 9);
+        let b = Deployment::evaluation_default(&plan, 9);
+        for (id, s) in a.iter() {
+            assert_eq!(s.router, b.spec(id).router);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one function")]
+    fn rejects_functionless_box() {
+        let mut dep = Deployment::new();
+        dep.add(MiddleboxSpec {
+            functions: BTreeSet::new(),
+            router: NodeId::from_index(0),
+            capacity: 1.0,
+            attachment_kind: "off-path".into(),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_zero_capacity() {
+        let plan = campus(1);
+        let mut dep = Deployment::new();
+        dep.add(MiddleboxSpec::new(Firewall, plan.cores()[0], 0.0));
+    }
+
+    #[test]
+    fn attachment_modes() {
+        let plan = campus(1);
+        let off = MiddleboxSpec::new(Ids, plan.cores()[0], 1.0);
+        assert_eq!(off.attachment(), Attachment::OffPath);
+        let inp = off.clone().in_path();
+        assert_eq!(inp.attachment(), Attachment::InPath);
+    }
+
+    #[test]
+    fn multi_function_box() {
+        let plan = campus(1);
+        let mut dep = Deployment::new();
+        let spec = MiddleboxSpec {
+            functions: BTreeSet::from([Firewall, Ids]),
+            router: plan.cores()[0],
+            capacity: 2.0,
+            attachment_kind: "off-path".into(),
+        };
+        let id = dep.add(spec);
+        assert!(dep.offering(Firewall).contains(&id));
+        assert!(dep.offering(Ids).contains(&id));
+        assert!(dep.offering(WebProxy).is_empty());
+    }
+}

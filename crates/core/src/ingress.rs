@@ -1,0 +1,145 @@
+//! The gateway ingress proxy: a policy proxy attached at an Internet
+//! gateway (the proxy-`y` wiring of Figure 2), enforcing policies on
+//! traffic *entering* the enterprise from outside. Without it, inbound
+//! traffic would reach its destination proxy and be delivered without ever
+//! traversing its chain — the bypass the architecture must prevent.
+
+use std::sync::Arc;
+
+use sdm_netsim::{Device, DeviceCtx, Packet, PacketKind};
+use sdm_policy::LocalClassifier;
+
+use crate::runtime::{ProxyState, RuntimeConfig, Shared};
+use crate::steer::SteerPoint;
+
+/// The ingress policy proxy at one gateway.
+pub struct IngressProxy {
+    /// Dense index into the plan's gateway list.
+    gateway: u32,
+    policies: LocalClassifier,
+    config: Arc<RuntimeConfig>,
+    state: Shared<ProxyState>,
+}
+
+impl IngressProxy {
+    /// Creates the ingress proxy with its controller-installed policy
+    /// table (policies whose sources can lie outside the enterprise).
+    pub fn new(
+        gateway: u32,
+        policies: LocalClassifier,
+        config: Arc<RuntimeConfig>,
+        state: Shared<ProxyState>,
+    ) -> Self {
+        IngressProxy {
+            gateway,
+            policies,
+            config,
+            state,
+        }
+    }
+}
+
+impl Device for IngressProxy {
+    fn receive(&mut self, ctx: &mut DeviceCtx<'_>, mut pkt: Packet) {
+        let mut state = self.state.lock();
+
+        if let PacketKind::LabelReady(flow) = pkt.kind {
+            state.counters.control_received += pkt.weight;
+            state.flows.flag_label_switched(&flow);
+            return;
+        }
+
+        state.counters.outbound += pkt.weight; // "entering the enterprise"
+        let ft = pkt.five_tuple();
+        let now = ctx.now();
+        let weight = pkt.weight;
+
+        // Flow cache, then policy table — same §III.D fast path as stub
+        // proxies.
+        let cached = state
+            .flows
+            .lookup(&ft, now, weight)
+            .map(|e| (e.action.clone(), e.label, e.label_switched));
+        let (action, label, label_switched) = match cached {
+            Some(c) => c,
+            None => match self.policies.first_match(&ft) {
+                None => {
+                    state.flows.insert_negative(ft, now);
+                    (None, None, false)
+                }
+                Some((id, policy)) => {
+                    let actions = policy.actions.clone();
+                    state.flows.insert_positive(ft, id, actions.clone(), now);
+                    let label = if self.config.label_switching() && !actions.is_permit() {
+                        let l = state.labels.allocate();
+                        if let Some(l) = l {
+                            state.flows.set_label(&ft, l);
+                        }
+                        l
+                    } else {
+                        None
+                    };
+                    (Some((id, actions)), label, false)
+                }
+            },
+        };
+
+        let Some((policy_id, actions)) = action else {
+            state.counters.permitted += weight;
+            drop(state);
+            ctx.forward(pkt);
+            return;
+        };
+        if actions.is_permit() {
+            state.counters.permitted += weight;
+            drop(state);
+            ctx.forward(pkt);
+            return;
+        }
+
+        let point = SteerPoint::Gateway(self.gateway);
+        if self.config.encoding == crate::steer::SteeringEncoding::SourceRouting {
+            let Some(chain) = self.config.resolve_chain(point, policy_id, &actions, &ft) else {
+                state.counters.unenforceable += weight;
+                return;
+            };
+            let final_dst = pkt.inner.dst;
+            let mut segments: Vec<sdm_netsim::Ipv4Addr> =
+                chain.iter().map(|&m| self.config.mbox_addr(m)).collect();
+            segments.push(final_dst);
+            pkt.set_source_route(segments);
+            state.counters.steered += weight;
+            drop(state);
+            ctx.forward(pkt);
+            return;
+        }
+
+        let first_fn = actions.first().expect("non-permit chain");
+        let commodity = self.config.commodity_of(&pkt);
+        let Some(next) =
+            self.config
+                .select_for_commodity(point, policy_id, first_fn, 0, &ft, commodity)
+        else {
+            state.counters.unenforceable += weight;
+            return;
+        };
+        let next_addr = self.config.mbox_addr(next);
+
+        if label_switched && self.config.label_switching() {
+            if let Some(l) = label {
+                pkt.label = Some(l);
+                pkt.inner.dst = next_addr;
+                state.counters.label_switched += weight;
+                state.counters.steered += weight;
+                drop(state);
+                ctx.forward(pkt);
+                return;
+            }
+        }
+        pkt.label = label;
+        pkt.encapsulate(ctx.addr(), next_addr);
+        state.counters.steered += weight;
+        drop(state);
+        ctx.forward(pkt);
+    }
+}

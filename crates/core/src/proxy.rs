@@ -1,0 +1,250 @@
+//! The policy proxy (§III.A–B): intercepts all traffic entering or leaving
+//! its stub network, matches outbound packets against its policy table
+//! `P_x`, steers policy traffic into middlebox chains via IP-over-IP (or
+//! label switching once established), measures per-policy volumes, and
+//! delivers inbound traffic into the stub.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use sdm_netsim::{Device, DeviceCtx, Packet, PacketKind, Prefix, StubId};
+use sdm_policy::LocalClassifier;
+
+use crate::measure::{DestKey, TrafficMatrix};
+use crate::runtime::{ProxyState, RuntimeConfig, Shared};
+use crate::steer::SteerPoint;
+
+/// The policy-proxy device for one stub network.
+pub struct ProxyDevice {
+    stub: StubId,
+    subnet: Prefix,
+    policies: LocalClassifier,
+    config: Arc<RuntimeConfig>,
+    state: Shared<ProxyState>,
+    measurements: Arc<Mutex<TrafficMatrix>>,
+}
+
+impl ProxyDevice {
+    /// Creates the proxy for `stub` with its controller-installed local
+    /// policy table `P_x`.
+    pub fn new(
+        stub: StubId,
+        subnet: Prefix,
+        policies: LocalClassifier,
+        config: Arc<RuntimeConfig>,
+        state: Shared<ProxyState>,
+        measurements: Arc<Mutex<TrafficMatrix>>,
+    ) -> Self {
+        ProxyDevice {
+            stub,
+            subnet,
+            policies,
+            config,
+            state,
+            measurements,
+        }
+    }
+
+    fn dest_key(&self, pkt: &Packet) -> DestKey {
+        match self.config.addr_plan.stub_of(pkt.inner.dst) {
+            Some(s) => DestKey::Stub(s),
+            None => DestKey::External,
+        }
+    }
+}
+
+impl Device for ProxyDevice {
+    fn receive(&mut self, ctx: &mut DeviceCtx<'_>, mut pkt: Packet) {
+        let mut state = self.state.lock();
+
+        // 1. Label-ready control packet from the last middlebox (§III.E):
+        //    flag the flow for label switching and consume the packet.
+        if let PacketKind::LabelReady(flow) = pkt.kind {
+            state.counters.control_received += pkt.weight;
+            state.flows.flag_label_switched(&flow);
+            return;
+        }
+
+        // 2. Inbound traffic addressed into our stub: final delivery.
+        if self.subnet.contains(pkt.current_dst()) {
+            state.counters.inbound += pkt.weight;
+            while pkt.decapsulate().is_some() {}
+            ctx.deliver_local(pkt);
+            return;
+        }
+
+        // 3. Outbound traffic from our stub.
+        state.counters.outbound += pkt.weight;
+        let ft = pkt.five_tuple();
+        let now = ctx.now();
+        let weight = pkt.weight;
+
+        // Flow-cache fast path (§III.D).
+        let cached = state
+            .flows
+            .lookup(&ft, now, weight)
+            .map(|e| (e.action.clone(), e.label, e.label_switched));
+        let (action, label, label_switched) = match cached {
+            Some(c) => c,
+            None => {
+                // Slow path: multi-field policy lookup, then cache.
+                match self.policies.first_match(&ft) {
+                    None => {
+                        state.flows.insert_negative(ft, now);
+                        (None, None, false)
+                    }
+                    Some((id, policy)) => {
+                        let actions = policy.actions.clone();
+                        state.flows.insert_positive(ft, id, actions.clone(), now);
+                        let label = if self.config.label_switching() && !actions.is_permit() {
+                            let l = state.labels.allocate();
+                            if let Some(l) = l {
+                                state.flows.set_label(&ft, l);
+                            }
+                            l
+                        } else {
+                            None
+                        };
+                        (Some((id, actions)), label, false)
+                    }
+                }
+            }
+        };
+
+        let Some((policy_id, actions)) = action else {
+            // No policy: forward unchanged.
+            state.counters.permitted += weight;
+            drop(state);
+            ctx.forward(pkt);
+            return;
+        };
+
+        // Measure T_{s,d,p} for the controller (§III.C).
+        self.measurements
+            .lock()
+            .record(self.stub, self.dest_key(&pkt), policy_id, weight as f64);
+
+        if actions.is_permit() {
+            state.counters.permitted += weight;
+            drop(state);
+            ctx.forward(pkt);
+            return;
+        }
+
+        // Strict source routing: compute the whole chain here and embed it.
+        if self.config.encoding == crate::steer::SteeringEncoding::SourceRouting {
+            let Some(chain) = self.config.resolve_chain(
+                SteerPoint::Proxy(self.stub),
+                policy_id,
+                &actions,
+                &ft,
+            ) else {
+                state.counters.unenforceable += weight;
+                return;
+            };
+            let final_dst = pkt.inner.dst;
+            let mut segments: Vec<sdm_netsim::Ipv4Addr> =
+                chain.iter().map(|&m| self.config.mbox_addr(m)).collect();
+            segments.push(final_dst);
+            pkt.set_source_route(segments);
+            state.counters.steered += weight;
+            drop(state);
+            ctx.forward(pkt);
+            return;
+        }
+
+        // Steer to the first function's middlebox.
+        let first_fn = actions.first().expect("non-permit chain");
+        let commodity = self.config.commodity_of(&pkt);
+        let Some(next) = self.config.select_for_commodity(
+            SteerPoint::Proxy(self.stub),
+            policy_id,
+            first_fn,
+            0,
+            &ft,
+            commodity,
+        ) else {
+            state.counters.unenforceable += weight;
+            return; // drop: the policy cannot be enforced
+        };
+        let next_addr = self.config.mbox_addr(next);
+
+        if label_switched && self.config.label_switching() {
+            // §III.E fast path: label + destination rewrite, no tunnel.
+            if let Some(l) = label {
+                pkt.label = Some(l);
+                pkt.inner.dst = next_addr;
+                state.counters.label_switched += weight;
+                state.counters.steered += weight;
+                drop(state);
+                ctx.forward(pkt);
+                return;
+            }
+        }
+
+        // §III.B: IP-over-IP with the proxy as outer source.
+        pkt.label = label;
+        pkt.encapsulate(ctx.addr(), next_addr);
+        state.counters.steered += weight;
+        drop(state);
+        ctx.forward(pkt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Proxy behaviour is exercised end-to-end in the controller tests and
+    //! the workspace integration tests; unit tests here cover the pieces
+    //! that do not need a running simulator.
+
+    use super::*;
+    use crate::deployment::{Deployment, MiddleboxSpec};
+    use crate::steer::{Assignments, KConfig, Strategy};
+    use sdm_netsim::AddressPlan;
+    use sdm_policy::NetworkFunction::*;
+    use sdm_topology::campus::campus;
+    use std::collections::HashMap;
+
+    #[test]
+    fn dest_key_resolves_stub_and_external() {
+        let plan = campus(1);
+        let addr_plan = AddressPlan::new(&plan);
+        let mut dep = Deployment::new();
+        dep.add(MiddleboxSpec::new(Firewall, plan.cores()[0], 1.0));
+        let routes = plan.topology().routing_tables();
+        let assignments = Assignments::compute(&dep, &routes, plan.edges(), &KConfig::uniform(1));
+        let config = Arc::new(RuntimeConfig {
+            strategy: Strategy::HotPotato,
+            assignments,
+            weights: None,
+            mbox_addrs: vec![sdm_netsim::preassigned_device_addr(0)],
+            addr_to_mbox: HashMap::new(),
+            addr_plan: addr_plan.clone(),
+            encoding: Default::default(),
+            mbox_functions: dep.iter().map(|(_, s)| s.functions.clone()).collect(),
+        });
+        let proxy = ProxyDevice::new(
+            StubId(0),
+            addr_plan.subnet(StubId(0)),
+            LocalClassifier::new(Default::default(), Default::default()),
+            config,
+            Arc::new(Mutex::new(ProxyState::new(1000))),
+            Arc::new(Mutex::new(TrafficMatrix::new())),
+        );
+        let internal = Packet::data(
+            sdm_netsim::FiveTuple {
+                src: addr_plan.host(StubId(0), 0),
+                dst: addr_plan.host(StubId(3), 0),
+                src_port: 1,
+                dst_port: 2,
+                proto: sdm_netsim::Protocol::Tcp,
+            },
+            10,
+        );
+        assert_eq!(proxy.dest_key(&internal), DestKey::Stub(StubId(3)));
+        let mut external = internal.clone();
+        external.inner.dst = "8.8.8.8".parse().unwrap();
+        assert_eq!(proxy.dest_key(&external), DestKey::External);
+    }
+}

@@ -1,0 +1,42 @@
+//! Linear programming substrate for load-balanced policy enforcement.
+//!
+//! The paper's load-balancing step (§III.C) solves a min-max-load linear
+//! program — Eq. (1) in per-(source, destination, policy) form, Eq. (2) in
+//! the reduced per-(function, policy) form. Both are ordinary LPs; this
+//! crate provides the general-purpose machinery the controller builds them
+//! with:
+//!
+//! * [`LinearProgram`] — a builder for minimization LPs over non-negative
+//!   variables with `≤ / ≥ / =` constraints.
+//! * [`LinearProgram::solve`] — a from-scratch two-phase dense simplex
+//!   solver with a Bland's-rule fallback for degenerate instances.
+//!
+//! # Example
+//!
+//! The min-max structure used by the controller, in miniature: route 15
+//! units across two boxes with capacities 10 and 20, minimizing the worst
+//! load factor λ.
+//!
+//! ```
+//! use sdm_lp::{LinearProgram, Relation};
+//!
+//! let mut lp = LinearProgram::new();
+//! let t1 = lp.add_var("t1", 0.0);
+//! let t2 = lp.add_var("t2", 0.0);
+//! let lambda = lp.add_var("lambda", 1.0);
+//! lp.add_constraint(vec![(t1, 1.0), (t2, 1.0)], Relation::Eq, 15.0);
+//! lp.add_constraint(vec![(t1, 1.0), (lambda, -10.0)], Relation::Le, 0.0);
+//! lp.add_constraint(vec![(t2, 1.0), (lambda, -20.0)], Relation::Le, 0.0);
+//! let sol = lp.solve()?;
+//! assert!((sol.objective - 0.5).abs() < 1e-6);
+//! # Ok::<(), sdm_lp::SolveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod simplex;
+
+pub use model::{Constraint, LinearProgram, Relation, VarId};
+pub use simplex::{Solution, SolveError};

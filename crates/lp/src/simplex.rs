@@ -1,0 +1,550 @@
+//! Two-phase dense simplex solver.
+//!
+//! Standard-form reduction: every constraint is normalized to a
+//! non-negative right-hand side; `≤` rows get a slack column, `≥` rows a
+//! surplus plus an artificial column, `=` rows an artificial column.
+//! Phase 1 minimizes the sum of artificials from the trivial basis; phase 2
+//! optimizes the real objective. Pivoting uses Dantzig's rule and falls
+//! back to Bland's rule after an iteration budget to guarantee termination
+//! on degenerate problems.
+
+use std::fmt;
+
+use crate::model::{LinearProgram, Relation};
+
+/// Numeric tolerance for pivoting and feasibility decisions.
+const EPS: f64 = 1e-9;
+
+/// Error returned by [`LinearProgram::solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// No point satisfies all constraints.
+    Infeasible,
+    /// The objective can be decreased without bound.
+    Unbounded,
+    /// The pivot-iteration budget was exhausted (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SolveError::Infeasible => "linear program is infeasible",
+            SolveError::Unbounded => "linear program is unbounded",
+            SolveError::IterationLimit => "simplex iteration limit exceeded",
+        })
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// An optimal solution of a [`LinearProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The minimal objective value.
+    pub objective: f64,
+    /// Optimal values of the original variables, indexed by `VarId`.
+    pub values: Vec<f64>,
+    /// Pivot iterations spent across both phases.
+    pub iterations: u64,
+}
+
+impl Solution {
+    /// Value of one variable.
+    pub fn value(&self, v: crate::model::VarId) -> f64 {
+        self.values[v.index()]
+    }
+}
+
+/// Dense simplex tableau: `rows × cols` coefficients, per-row rhs, and a
+/// cost row kept in reduced form.
+struct Tableau {
+    rows: usize,
+    cols: usize,
+    /// a[r * cols + c]
+    a: Vec<f64>,
+    b: Vec<f64>,
+    /// reduced costs (cost row)
+    c: Vec<f64>,
+    /// negative of current objective value
+    obj: f64,
+    /// basis[r] = column basic in row r
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.cols + c]
+    }
+
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let cols = self.cols;
+        let piv = self.a[pr * cols + pc];
+        debug_assert!(piv.abs() > EPS, "pivot too small");
+        let inv = 1.0 / piv;
+        for c in 0..cols {
+            self.a[pr * cols + c] *= inv;
+        }
+        self.b[pr] *= inv;
+        self.a[pr * cols + pc] = 1.0; // fight rounding
+        for r in 0..self.rows {
+            if r == pr {
+                continue;
+            }
+            let factor = self.a[r * cols + pc];
+            if factor.abs() <= EPS {
+                self.a[r * cols + pc] = 0.0;
+                continue;
+            }
+            // row_r -= factor * row_pr  (split borrows via indices)
+            for c in 0..cols {
+                let v = self.a[pr * cols + c];
+                self.a[r * cols + c] -= factor * v;
+            }
+            self.a[r * cols + pc] = 0.0;
+            self.b[r] -= factor * self.b[pr];
+        }
+        let cf = self.c[pc];
+        if cf.abs() > EPS {
+            for c in 0..cols {
+                self.c[c] -= cf * self.a[pr * cols + c];
+            }
+            self.c[pc] = 0.0;
+            self.obj -= cf * self.b[pr];
+        }
+        self.basis[pr] = pc;
+    }
+
+    /// Runs simplex iterations until optimal. `allowed` limits the columns
+    /// eligible to enter (used to keep artificials out in phase 2).
+    fn optimize(&mut self, allowed: usize, budget: &mut u64) -> Result<(), SolveError> {
+        // Switch to Bland's rule after a degeneracy-scaled threshold.
+        let bland_after = 4 * (self.rows as u64 + allowed as u64) + 64;
+        let mut iters_here: u64 = 0;
+        loop {
+            if *budget == 0 {
+                return Err(SolveError::IterationLimit);
+            }
+            let use_bland = iters_here > bland_after;
+            // entering column
+            let mut enter: Option<usize> = None;
+            if use_bland {
+                for c in 0..allowed {
+                    if self.c[c] < -EPS {
+                        enter = Some(c);
+                        break;
+                    }
+                }
+            } else {
+                let mut best = -EPS;
+                for c in 0..allowed {
+                    if self.c[c] < best {
+                        best = self.c[c];
+                        enter = Some(c);
+                    }
+                }
+            }
+            let Some(pc) = enter else {
+                return Ok(()); // optimal
+            };
+            // leaving row: minimal ratio; Bland tie-break on basis index
+            let mut leave: Option<(f64, usize, usize)> = None; // (ratio, basis col, row)
+            for r in 0..self.rows {
+                let arc = self.at(r, pc);
+                if arc > EPS {
+                    let ratio = self.b[r] / arc;
+                    let key = (ratio, self.basis[r]);
+                    if leave.map_or(true, |(lr, lb, _)| key < (lr, lb)) {
+                        leave = Some((ratio, self.basis[r], r));
+                    }
+                }
+            }
+            let Some((_, _, pr)) = leave else {
+                return Err(SolveError::Unbounded);
+            };
+            self.pivot(pr, pc);
+            *budget -= 1;
+            iters_here += 1;
+        }
+    }
+}
+
+impl LinearProgram {
+    /// Solves the program with the two-phase simplex method.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] if no feasible point exists,
+    /// [`SolveError::Unbounded`] if the objective is unbounded below,
+    /// [`SolveError::IterationLimit`] if the pivot budget is exhausted.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        let n = self.num_vars();
+        let m = self.num_constraints();
+
+        // Normalize rows to rhs >= 0 and decide column layout.
+        // Layout: [original 0..n | slack/surplus | artificial]
+        let mut slack_of = vec![usize::MAX; m]; // column of slack/surplus
+        let mut art_of = vec![usize::MAX; m];
+        let mut next = n;
+        let mut rel = Vec::with_capacity(m);
+        let mut rhs = Vec::with_capacity(m);
+        for con in &self.constraints {
+            let (r, b) = if con.rhs < 0.0 {
+                // multiply by -1
+                let flipped = match con.relation {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+                (flipped, -con.rhs)
+            } else {
+                (con.relation, con.rhs)
+            };
+            rel.push(r);
+            rhs.push(b);
+        }
+        for (i, r) in rel.iter().enumerate() {
+            match r {
+                Relation::Le | Relation::Ge => {
+                    slack_of[i] = next;
+                    next += 1;
+                }
+                Relation::Eq => {}
+            }
+        }
+        let first_art = next;
+        for (i, r) in rel.iter().enumerate() {
+            let needs_artificial = matches!(r, Relation::Ge | Relation::Eq);
+            if needs_artificial {
+                art_of[i] = next;
+                next += 1;
+            }
+        }
+        let cols = next;
+
+        let mut t = Tableau {
+            rows: m,
+            cols,
+            a: vec![0.0; m * cols],
+            b: rhs,
+            c: vec![0.0; cols],
+            obj: 0.0,
+            basis: vec![usize::MAX; m],
+        };
+
+        // Fill coefficients (terms summed; sign flipped for normalized
+        // rows), then equilibrate each row by its largest |coefficient| so
+        // that badly scaled models (traffic volumes in the millions next
+        // to unit capacities) pivot stably.
+        for (i, con) in self.constraints.iter().enumerate() {
+            let sign = if con.rhs < 0.0 { -1.0 } else { 1.0 };
+            for &(v, coef) in &con.terms {
+                t.a[i * cols + v.index()] += sign * coef;
+            }
+            let row_max = (0..n)
+                .map(|v| t.a[i * cols + v].abs())
+                .fold(0.0f64, f64::max);
+            if row_max > EPS && (row_max > 1e4 || row_max < 1e-4) {
+                let inv = 1.0 / row_max;
+                for v in 0..n {
+                    t.a[i * cols + v] *= inv;
+                }
+                t.b[i] *= inv;
+            }
+            match rel[i] {
+                Relation::Le => {
+                    t.a[i * cols + slack_of[i]] = 1.0;
+                    t.basis[i] = slack_of[i];
+                }
+                Relation::Ge => {
+                    t.a[i * cols + slack_of[i]] = -1.0;
+                    t.a[i * cols + art_of[i]] = 1.0;
+                    t.basis[i] = art_of[i];
+                }
+                Relation::Eq => {
+                    t.a[i * cols + art_of[i]] = 1.0;
+                    t.basis[i] = art_of[i];
+                }
+            }
+        }
+
+        let mut budget: u64 = 200 * (m as u64 + cols as u64) + 20_000;
+        let mut iterations_total: u64 = 0;
+
+        // Phase 1: minimize sum of artificials.
+        if first_art < cols {
+            for c in first_art..cols {
+                t.c[c] = 1.0;
+            }
+            // Price out the artificial basis columns.
+            for i in 0..m {
+                if t.basis[i] >= first_art {
+                    for c in 0..cols {
+                        let v = t.a[i * cols + c];
+                        t.c[c] -= v;
+                    }
+                    t.obj -= t.b[i];
+                }
+            }
+            let before = budget;
+            t.optimize(cols, &mut budget)?;
+            iterations_total += before - budget;
+            let phase1 = -t.obj;
+            if phase1 > 1e-6 {
+                return Err(SolveError::Infeasible);
+            }
+            // Drive any artificial still in the basis out (degenerate rows).
+            for r in 0..m {
+                if t.basis[r] >= first_art {
+                    let mut swapped = false;
+                    for c in 0..first_art {
+                        if t.at(r, c).abs() > EPS {
+                            t.pivot(r, c);
+                            swapped = true;
+                            break;
+                        }
+                    }
+                    if !swapped {
+                        // Redundant row: harmless, keep the artificial at
+                        // value 0; it can never re-enter (excluded below).
+                    }
+                }
+            }
+        }
+
+        // Phase 2: real objective, artificials excluded from entering.
+        t.c = vec![0.0; cols];
+        t.obj = 0.0;
+        for v in 0..n {
+            t.c[v] = self.objective[v];
+        }
+        // Price out the current basis.
+        for i in 0..m {
+            let bc = t.basis[i];
+            let cf = t.c[bc];
+            if cf.abs() > EPS {
+                for c in 0..cols {
+                    let v = t.a[i * cols + c];
+                    t.c[c] -= cf * v;
+                }
+                t.c[bc] = 0.0;
+                t.obj -= cf * t.b[i];
+            }
+        }
+        let before = budget;
+        t.optimize(first_art, &mut budget)?;
+        iterations_total += before - budget;
+
+        let mut values = vec![0.0; n];
+        for r in 0..m {
+            if t.basis[r] < n {
+                values[t.basis[r]] = t.b[r].max(0.0);
+            }
+        }
+        Ok(Solution {
+            objective: -t.obj,
+            values,
+            iterations: iterations_total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinearProgram, Relation::*};
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn simple_minimization() {
+        // min x + 2y  s.t. x + y >= 4, y <= 3  -> x=4, y=0, obj=4
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", 1.0);
+        let y = lp.add_var("y", 2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Ge, 4.0);
+        lp.add_constraint(vec![(y, 1.0)], Le, 3.0);
+        let s = lp.solve().unwrap();
+        assert!(approx(s.objective, 4.0), "{}", s.objective);
+        assert!(approx(s.value(x), 4.0));
+        assert!(approx(s.value(y), 0.0));
+    }
+
+    #[test]
+    fn maximization_via_negation() {
+        // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18 -> x=2,y=6, max=36
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", -3.0);
+        let y = lp.add_var("y", -5.0);
+        lp.add_constraint(vec![(x, 1.0)], Le, 4.0);
+        lp.add_constraint(vec![(y, 2.0)], Le, 12.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Le, 18.0);
+        let s = lp.solve().unwrap();
+        assert!(approx(s.objective, -36.0), "{}", s.objective);
+        assert!(approx(s.value(x), 2.0));
+        assert!(approx(s.value(y), 6.0));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 6, x - y = 0 -> x=y=2, obj=4
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", 1.0);
+        let y = lp.add_var("y", 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 2.0)], Eq, 6.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Eq, 0.0);
+        let s = lp.solve().unwrap();
+        assert!(approx(s.objective, 4.0));
+        assert!(approx(s.value(x), 2.0));
+        assert!(approx(s.value(y), 2.0));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Le, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Ge, 2.0);
+        assert_eq!(lp.solve(), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x with x unconstrained above
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", -1.0);
+        lp.add_constraint(vec![(x, 1.0)], Ge, 0.0);
+        assert_eq!(lp.solve(), Err(SolveError::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // min x s.t. -x <= -3  (i.e. x >= 3)
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", 1.0);
+        lp.add_constraint(vec![(x, -1.0)], Le, -3.0);
+        let s = lp.solve().unwrap();
+        assert!(approx(s.value(x), 3.0));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Beale's cycling example (classic); Bland fallback must terminate.
+        let mut lp = LinearProgram::new();
+        let x1 = lp.add_var("x1", -0.75);
+        let x2 = lp.add_var("x2", 150.0);
+        let x3 = lp.add_var("x3", -0.02);
+        let x4 = lp.add_var("x4", 6.0);
+        lp.add_constraint(vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Le, 0.0);
+        lp.add_constraint(vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Le, 0.0);
+        lp.add_constraint(vec![(x3, 1.0)], Le, 1.0);
+        let s = lp.solve().unwrap();
+        assert!(approx(s.objective, -0.05), "{}", s.objective);
+    }
+
+    #[test]
+    fn min_max_structure_like_load_balancing() {
+        // Two "middleboxes" with capacities 10 and 20 must absorb 15 units;
+        // min lambda with load_i <= lambda * C_i. Optimum: lambda = 0.5.
+        let mut lp = LinearProgram::new();
+        let t1 = lp.add_var("t1", 0.0);
+        let t2 = lp.add_var("t2", 0.0);
+        let lam = lp.add_var("lambda", 1.0);
+        lp.add_constraint(vec![(t1, 1.0), (t2, 1.0)], Eq, 15.0);
+        lp.add_constraint(vec![(t1, 1.0), (lam, -10.0)], Le, 0.0);
+        lp.add_constraint(vec![(t2, 1.0), (lam, -20.0)], Le, 0.0);
+        lp.add_constraint(vec![(lam, 1.0)], Le, 1.0);
+        let s = lp.solve().unwrap();
+        assert!(approx(s.objective, 0.5), "{}", s.objective);
+        assert!(approx(s.value(t1), 5.0));
+        assert!(approx(s.value(t2), 10.0));
+    }
+
+    #[test]
+    fn lambda_cap_makes_overload_infeasible() {
+        // 50 units into total capacity 30 with lambda <= 1: infeasible.
+        let mut lp = LinearProgram::new();
+        let t1 = lp.add_var("t1", 0.0);
+        let t2 = lp.add_var("t2", 0.0);
+        let lam = lp.add_var("lambda", 1.0);
+        lp.add_constraint(vec![(t1, 1.0), (t2, 1.0)], Eq, 50.0);
+        lp.add_constraint(vec![(t1, 1.0), (lam, -10.0)], Le, 0.0);
+        lp.add_constraint(vec![(t2, 1.0), (lam, -20.0)], Le, 0.0);
+        lp.add_constraint(vec![(lam, 1.0)], Le, 1.0);
+        assert_eq!(lp.solve(), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn redundant_equalities_ok() {
+        // x + y = 4 stated twice; min x -> x=0,y=4
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", 1.0);
+        let y = lp.add_var("y", 0.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Eq, 4.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Eq, 4.0);
+        let s = lp.solve().unwrap();
+        assert!(approx(s.objective, 0.0));
+        assert!(approx(s.value(y), 4.0));
+    }
+
+    #[test]
+    fn zero_variable_problem() {
+        let lp = LinearProgram::new();
+        let s = lp.solve().unwrap();
+        assert_eq!(s.objective, 0.0);
+        assert!(s.values.is_empty());
+    }
+
+    #[test]
+    fn badly_scaled_rows_solve_accurately() {
+        // volumes in the millions against unit capacities, mixed with a
+        // tiny-coefficient row
+        let mut lp = LinearProgram::new();
+        let t1 = lp.add_var("t1", 0.0);
+        let t2 = lp.add_var("t2", 0.0);
+        let lam = lp.add_var("lambda", 1.0);
+        lp.add_constraint(vec![(t1, 1.0), (t2, 1.0)], Eq, 9_000_000.0);
+        lp.add_constraint(vec![(t1, 1.0), (lam, -1.0)], Le, 0.0);
+        lp.add_constraint(vec![(t2, 1.0), (lam, -1.0)], Le, 0.0);
+        lp.add_constraint(vec![(t1, 1e-6), (t2, -1e-6)], Le, 1.0);
+        let s = lp.solve().unwrap();
+        assert!(
+            (s.objective - 4_500_000.0).abs() / 4_500_000.0 < 1e-9,
+            "{}",
+            s.objective
+        );
+        assert!(lp.is_feasible(&s.values, 1.0));
+    }
+
+    #[test]
+    fn lp_format_contains_whole_model() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", 1.0);
+        let y = lp.add_var("y", -2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -3.0)], Ge, 4.0);
+        lp.add_constraint(vec![(y, 1.0)], Le, 7.0);
+        let text = lp.to_lp_format();
+        assert!(text.contains("Minimize"), "{text}");
+        assert!(text.contains("- 2 y"), "{text}");
+        assert!(text.contains("1 x - 3 y >= 4"), "{text}");
+        assert!(text.contains("1 y <= 7"), "{text}");
+        assert!(text.contains("0 <= x"), "{text}");
+        assert!(text.ends_with("End\n"), "{text}");
+    }
+
+    #[test]
+    fn solution_is_feasible_for_model() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", 2.0);
+        let y = lp.add_var("y", 3.0);
+        let z = lp.add_var("z", 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0), (z, 1.0)], Ge, 10.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Le, 2.0);
+        lp.add_constraint(vec![(z, 1.0)], Le, 7.0);
+        let s = lp.solve().unwrap();
+        assert!(lp.is_feasible(&s.values, 1e-6));
+        assert!(approx(lp.objective_at(&s.values), s.objective));
+    }
+}

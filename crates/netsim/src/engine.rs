@@ -1,0 +1,1214 @@
+//! The discrete-event simulation engine: routers forward packets along OSPF
+//! shortest paths, attached devices (policy proxies, middleboxes) receive
+//! and re-emit packets, and every action is accounted in [`SimStats`].
+//!
+//! This is the repo's substitute for the paper's OMNET++/INET setup: the
+//! routers here are *policy-oblivious* — they look at the outermost
+//! destination address only, exactly like the legacy routers in §II.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+use sdm_topology::{NetworkPlan, NodeId, NodeKind, RoutingTables, Topology};
+
+use crate::addr::{AddressPlan, Ipv4Addr, StubId};
+use crate::packet::{FiveTuple, FragInfo, Packet, PacketKind, IP_HEADER_LEN};
+
+/// Simulated time in abstract ticks (one tick = one link traversal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// This time plus `ticks`.
+    pub fn after(self, ticks: u64) -> SimTime {
+        SimTime(self.0 + ticks)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of a device attached to the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    /// Dense index of this device.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// How the simulator treats packets that exceed a link MTU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FragmentationMode {
+    /// Count MTU violations in [`SimStats::frag_events`] but deliver the
+    /// packet whole (the default; sufficient for the load experiments).
+    #[default]
+    CountOnly,
+    /// Emulate IP fragmentation: split the packet at the first over-MTU
+    /// link and reassemble at the consuming endpoint (tunnel-endpoint
+    /// device or final destination), accounting the extra packets on the
+    /// wire and the reassembly work — the overhead §III.E eliminates.
+    /// Applies to weight-1 data packets; aggregates fall back to counting.
+    Emulate,
+}
+
+/// Router forwarding discipline for equal-cost shortest paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EcmpMode {
+    /// Single deterministic next hop per destination (the tie-broken
+    /// Dijkstra tables) — the default, matching an ECMP-free OSPF config.
+    #[default]
+    Disabled,
+    /// OSPF equal-cost multipath: routers split flows across all
+    /// equal-cost next hops by hashing the flow identifier, keeping each
+    /// flow on one path.
+    FlowHash,
+}
+
+/// How a device is wired to its router (§III.A, Figure 1): *in-path* devices
+/// sit on the wire (no extra hop), *off-path* devices hang off the router on
+/// an access link (one extra link traversal each way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attachment {
+    /// Between the router and the rest of the network; transparent, no
+    /// extra hop.
+    InPath,
+    /// On a subnet off the router; each visit costs one access-link
+    /// traversal in and one out.
+    OffPath,
+}
+
+/// A programmable node attached to the network: a policy proxy or a
+/// software-defined middlebox.
+///
+/// Devices interact with the world only through [`DeviceCtx`]; the engine
+/// owns them. All state a device needs must be moved in at construction.
+pub trait Device {
+    /// Called when a packet addressed to this device (or intercepted by it)
+    /// arrives.
+    fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: Packet);
+
+    /// Called when a timer set through [`DeviceCtx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut DeviceCtx<'_>, key: u64) {
+        let _ = (ctx, key);
+    }
+}
+
+/// Side-effect interface handed to a [`Device`] during callbacks.
+///
+/// Actions are buffered and applied by the engine after the callback
+/// returns, in order.
+pub struct DeviceCtx<'a> {
+    now: SimTime,
+    dev: DeviceId,
+    addr: Ipv4Addr,
+    router: NodeId,
+    actions: &'a mut Vec<Action>,
+}
+
+enum Action {
+    Forward(Packet),
+    DeliverLocal(Packet),
+    SetTimer { delay: u64, key: u64 },
+}
+
+impl<'a> DeviceCtx<'a> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This device's id.
+    pub fn id(&self) -> DeviceId {
+        self.dev
+    }
+
+    /// This device's own address (tunnel endpoint address).
+    pub fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// The router this device is attached to.
+    pub fn router(&self) -> NodeId {
+        self.router
+    }
+
+    /// Re-emits a packet into the network at the attachment router; it will
+    /// be routed by its outermost destination address.
+    pub fn forward(&mut self, pkt: Packet) {
+        self.actions.push(Action::Forward(pkt));
+    }
+
+    /// Terminally delivers a packet into this device's local stub network
+    /// (used by proxies for inbound traffic that has passed all policies).
+    pub fn deliver_local(&mut self, pkt: Packet) {
+        self.actions.push(Action::DeliverLocal(pkt));
+    }
+
+    /// Schedules [`Device::on_timer`] with `key` after `delay` ticks.
+    pub fn set_timer(&mut self, delay: u64, key: u64) {
+        self.actions.push(Action::SetTimer { delay, key });
+    }
+}
+
+/// Aggregated counters of one simulation run. All counters are weighted: an
+/// aggregate packet of weight `w` counts as `w` packets.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Packets terminally delivered to stub hosts.
+    pub delivered: u64,
+    /// Packets delivered to destinations outside the enterprise (through a
+    /// gateway).
+    pub delivered_external: u64,
+    /// Per-stub delivered packet counts (indexed by [`StubId`]).
+    pub delivered_per_stub: Vec<u64>,
+    /// Packets received per device (indexed by [`DeviceId`]) — the
+    /// middlebox *load* of the paper's figures.
+    pub device_received: Vec<u64>,
+    /// Router-to-router link traversals.
+    pub link_hops: u64,
+    /// Per-link traversal counts (indexed by `LinkId`).
+    pub link_load: Vec<u64>,
+    /// Extra access-link traversals to/from off-path devices.
+    pub device_link_hops: u64,
+    /// Link traversals made while IP-over-IP encapsulated.
+    pub encapsulated_hops: u64,
+    /// Extra header bytes carried across links due to encapsulation.
+    pub extra_header_bytes: u64,
+    /// Hop events where the packet exceeded the link MTU (the fragmentation
+    /// events §III.E eliminates).
+    pub frag_events: u64,
+    /// Packets dropped because TTL reached zero.
+    pub dropped_ttl: u64,
+    /// Packets dropped because no route / owner existed for the destination.
+    pub unroutable: u64,
+    /// Control packets (label-ready) received by devices.
+    pub control_received: u64,
+    /// Fragments created under [`FragmentationMode::Emulate`].
+    pub fragments_created: u64,
+    /// Reassembly completions at consuming endpoints.
+    pub reassembly_events: u64,
+    /// Total queueing wait (tick·packets) accumulated in front of devices
+    /// with a configured service time.
+    pub device_wait_total: u64,
+    /// Worst single queueing wait (ticks) observed at any device.
+    pub device_wait_max: u64,
+    /// Total end-to-end delivery latency (tick·packets) over packets that
+    /// carried an injection timestamp.
+    pub latency_total: u64,
+    /// Worst single end-to-end delivery latency (ticks).
+    pub latency_max: u64,
+}
+
+impl SimStats {
+    /// Mean end-to-end latency per delivered packet (ticks).
+    pub fn avg_latency(&self) -> f64 {
+        let n = self.delivered + self.delivered_external;
+        if n == 0 {
+            0.0
+        } else {
+            self.latency_total as f64 / n as f64
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "delivered {} (+{} external), {} link hops, {} encapsulated, \
+{} extra header B",
+            self.delivered,
+            self.delivered_external,
+            self.link_hops,
+            self.encapsulated_hops,
+            self.extra_header_bytes
+        )?;
+        write!(
+            f,
+            "frag events {}, fragments {}, reassemblies {}, ttl drops {}, \
+unroutable {}, control {}",
+            self.frag_events,
+            self.fragments_created,
+            self.reassembly_events,
+            self.dropped_ttl,
+            self.unroutable,
+            self.control_received
+        )
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Arrive { node: NodeId, pkt: Packet },
+    DeviceRecv { dev: DeviceId, pkt: Packet },
+    Timer { dev: DeviceId, key: u64 },
+}
+
+struct Queued {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct DeviceSlot {
+    device: Box<dyn Device>,
+    router: NodeId,
+    addr: Ipv4Addr,
+    attachment: Attachment,
+}
+
+/// Base of the device (tunnel endpoint) address space: `172.16.0.0/12`.
+const DEVICE_BASE: u32 = (172 << 24) | (16 << 16);
+
+/// The address [`Simulator::attach`] will assign to the `index`-th attached
+/// device. Address assignment is deterministic so that controllers can
+/// pre-compute tunnel endpoints before the devices exist.
+pub fn preassigned_device_addr(index: usize) -> Ipv4Addr {
+    Ipv4Addr(DEVICE_BASE + index as u32 + 1)
+}
+
+/// The discrete-event network simulator.
+///
+/// Owns the topology, the converged routing tables, the addressing plan and
+/// all attached devices. Inject packets with [`Simulator::inject_from_stub`]
+/// (outbound traffic intercepted by the stub's proxy) or
+/// [`Simulator::inject_at_router`], then [`Simulator::run_until_idle`].
+///
+/// # Example
+///
+/// ```
+/// use sdm_netsim::{Simulator, Packet, FiveTuple, Protocol, StubId};
+/// let plan = sdm_topology::campus::campus(1);
+/// let mut sim = Simulator::new(&plan);
+/// let ft = FiveTuple {
+///     src: sim.addresses().host(StubId(0), 0),
+///     dst: sim.addresses().host(StubId(1), 0),
+///     src_port: 9999, dst_port: 80, proto: Protocol::Tcp,
+/// };
+/// sim.inject_from_stub(StubId(0), Packet::data(ft, 500));
+/// sim.run_until_idle();
+/// assert_eq!(sim.stats().delivered, 1);
+/// ```
+pub struct Simulator {
+    topo: Topology,
+    routes: RoutingTables,
+    addrs: AddressPlan,
+    gateways: Vec<NodeId>,
+    devices: Vec<DeviceSlot>,
+    addr_to_device: HashMap<Ipv4Addr, DeviceId>,
+    stub_handler: HashMap<StubId, DeviceId>,
+    ingress_handler: HashMap<NodeId, DeviceId>,
+    queue: BinaryHeap<Reverse<Queued>>,
+    now: SimTime,
+    seq: u64,
+    stats: SimStats,
+    mtu: u32,
+    actions: Vec<Action>,
+    link_index: HashMap<(NodeId, NodeId), usize>,
+    failed_links: Vec<sdm_topology::LinkId>,
+    trace: Option<Vec<TraceEvent>>,
+    trace_limit: usize,
+    ecmp: EcmpMode,
+    frag_mode: FragmentationMode,
+    frag_seq: u64,
+    reassembly: HashMap<u64, ReassemblyBuffer>,
+    /// Per-device (service ticks per packet, busy-until time).
+    service: Vec<(u64, SimTime)>,
+}
+
+struct ReassemblyBuffer {
+    needed: u16,
+    received: Vec<bool>,
+    payload: u32,
+    /// the first-received fragment, used as the template to rebuild from
+    template: Packet,
+}
+
+/// Where a traced packet was observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceLocation {
+    /// Arrived at a router.
+    Router(NodeId),
+    /// Delivered to an attached device.
+    Device(DeviceId),
+    /// Terminally delivered into a stub network.
+    Delivered(StubId),
+    /// Left the enterprise through a gateway.
+    External(NodeId),
+}
+
+/// One observation of a packet's journey (recorded when tracing is on).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// When it was observed.
+    pub at: SimTime,
+    /// Where.
+    pub location: TraceLocation,
+    /// The packet's original flow identifier.
+    pub flow: FiveTuple,
+    /// Aggregate weight of the packet.
+    pub weight: u64,
+}
+
+impl Simulator {
+    /// Builds a simulator over a generated network plan with default link
+    /// MTU (1500 bytes).
+    pub fn new(plan: &NetworkPlan) -> Self {
+        let topo = plan.topology().clone();
+        let routes = topo.routing_tables();
+        let addrs = AddressPlan::new(plan);
+        let n_links = topo.link_count();
+        let mut link_index = HashMap::with_capacity(n_links * 2);
+        for i in 0..n_links {
+            let (a, b, _) = topo.link(sdm_topology::LinkId::from_index(i));
+            link_index.insert((a, b), i);
+            link_index.insert((b, a), i);
+        }
+        Simulator {
+            topo,
+            routes,
+            addrs,
+            gateways: plan.gateways().to_vec(),
+            devices: Vec::new(),
+            addr_to_device: HashMap::new(),
+            stub_handler: HashMap::new(),
+            ingress_handler: HashMap::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            stats: SimStats {
+                delivered_per_stub: vec![0; addrs_len(plan)],
+                link_load: vec![0; n_links],
+                ..SimStats::default()
+            },
+            mtu: 1500,
+            actions: Vec::new(),
+            link_index,
+            failed_links: Vec::new(),
+            trace: None,
+            trace_limit: 0,
+            ecmp: EcmpMode::Disabled,
+            frag_mode: FragmentationMode::CountOnly,
+            frag_seq: 0,
+            reassembly: HashMap::new(),
+            service: Vec::new(),
+        }
+    }
+
+    /// Gives a device a finite processing rate: each packet occupies it for
+    /// `ticks_per_packet` ticks and later arrivals queue behind it (an
+    /// M/D/1-style server). The default (0) models an infinitely fast
+    /// device, appropriate for pure load accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` is unknown.
+    pub fn set_device_service_time(&mut self, dev: DeviceId, ticks_per_packet: u64) {
+        assert!(dev.index() < self.devices.len(), "unknown device {dev}");
+        self.service[dev.index()] = (ticks_per_packet, SimTime::ZERO);
+    }
+
+    /// Selects how over-MTU packets are treated.
+    pub fn set_fragmentation(&mut self, mode: FragmentationMode) {
+        self.frag_mode = mode;
+    }
+
+    /// Selects the router forwarding discipline for equal-cost paths.
+    pub fn set_ecmp(&mut self, mode: EcmpMode) {
+        self.ecmp = mode;
+    }
+
+    /// Fails a link: routing reconverges immediately (the OSPF reaction to
+    /// a withdrawn link-state advertisement), so subsequent forwarding
+    /// avoids it. Packets already queued re-route at their next hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link id is out of range.
+    pub fn fail_link(&mut self, link: sdm_topology::LinkId) {
+        assert!(link.index() < self.topo.link_count(), "unknown link");
+        if !self.failed_links.contains(&link) {
+            self.failed_links.push(link);
+            self.routes = self.topo.routing_tables_excluding(&self.failed_links);
+        }
+    }
+
+    /// Restores a failed link and reconverges routing.
+    pub fn restore_link(&mut self, link: sdm_topology::LinkId) {
+        self.failed_links.retain(|&l| l != link);
+        self.routes = self.topo.routing_tables_excluding(&self.failed_links);
+    }
+
+    /// Links currently failed.
+    pub fn failed_links(&self) -> &[sdm_topology::LinkId] {
+        &self.failed_links
+    }
+
+    /// Enables packet tracing, keeping at most `limit` observations
+    /// (router arrivals, device deliveries, terminal deliveries).
+    pub fn enable_trace(&mut self, limit: usize) {
+        self.trace = Some(Vec::new());
+        self.trace_limit = limit;
+    }
+
+    /// The recorded trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    fn record_trace(&mut self, at: SimTime, location: TraceLocation, flow: FiveTuple, weight: u64) {
+        if let Some(tr) = &mut self.trace {
+            if tr.len() < self.trace_limit {
+                tr.push(TraceEvent {
+                    at,
+                    location,
+                    flow,
+                    weight,
+                });
+            }
+        }
+    }
+
+    /// Sets the uniform link MTU used for fragmentation accounting.
+    pub fn set_mtu(&mut self, mtu: u32) {
+        self.mtu = mtu;
+    }
+
+    /// The addressing plan in force.
+    pub fn addresses(&self) -> &AddressPlan {
+        &self.addrs
+    }
+
+    /// The routing tables routers forward by.
+    pub fn routes(&self) -> &RoutingTables {
+        &self.routes
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Attaches a device to a router and assigns it a unique address from
+    /// `172.16.0.0/12`. Returns the device id and its address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` is not a node of this topology.
+    pub fn attach(
+        &mut self,
+        router: NodeId,
+        attachment: Attachment,
+        device: Box<dyn Device>,
+    ) -> (DeviceId, Ipv4Addr) {
+        assert!(router.index() < self.topo.node_count(), "unknown router");
+        let id = DeviceId(self.devices.len() as u32);
+        let addr = Ipv4Addr(DEVICE_BASE + id.0 + 1);
+        self.devices.push(DeviceSlot {
+            device,
+            router,
+            addr,
+            attachment,
+        });
+        self.addr_to_device.insert(addr, id);
+        self.stats.device_received.push(0);
+        self.service.push((0, SimTime::ZERO));
+        (id, addr)
+    }
+
+    /// Registers `dev` as the interceptor for traffic entering or leaving
+    /// stub `stub` — the policy-proxy wiring of §III.A.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` is unknown or the stub already has a handler.
+    pub fn set_stub_handler(&mut self, stub: StubId, dev: DeviceId) {
+        assert!(dev.index() < self.devices.len(), "unknown device {dev}");
+        let prev = self.stub_handler.insert(stub, dev);
+        assert!(prev.is_none(), "stub {stub} already has a handler");
+    }
+
+    /// Injects an outbound packet originating in `stub` at the current time.
+    /// If the stub has a proxy handler the packet is intercepted there;
+    /// otherwise it enters at the stub's edge router.
+    pub fn inject_from_stub(&mut self, stub: StubId, pkt: Packet) {
+        self.inject_from_stub_at(stub, pkt, self.now);
+    }
+
+    /// Like [`Simulator::inject_from_stub`] but scheduled at a future time
+    /// (used to stagger the packets of one flow so control-plane round
+    /// trips can complete in between).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the simulated past.
+    pub fn inject_from_stub_at(&mut self, stub: StubId, mut pkt: Packet, at: SimTime) {
+        assert!(at >= self.now, "cannot inject into the past");
+        pkt.injected_at.get_or_insert(at.0);
+        match self.stub_handler.get(&stub) {
+            Some(&dev) => {
+                let at = self.device_arrival_time(dev, at, pkt.weight);
+                self.push(at, EventKind::DeviceRecv { dev, pkt });
+            }
+            None => {
+                let node = self.addrs.edge_router(stub);
+                self.push(at, EventKind::Arrive { node, pkt });
+            }
+        }
+    }
+
+    /// Registers `dev` as the ingress interceptor at `router`: traffic
+    /// *injected* at that router (e.g. arriving from the Internet at a
+    /// gateway) is handed to the device before it is routed — the gateway
+    /// policy-proxy wiring of §III.A. Transit traffic through the router
+    /// is not re-intercepted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` is unknown or the router already has a handler.
+    pub fn set_ingress_handler(&mut self, router: NodeId, dev: DeviceId) {
+        assert!(dev.index() < self.devices.len(), "unknown device {dev}");
+        let prev = self.ingress_handler.insert(router, dev);
+        assert!(prev.is_none(), "router already has an ingress handler");
+    }
+
+    /// Injects a packet directly at a router (e.g. traffic arriving from
+    /// the Internet at a gateway). If the router has an ingress handler,
+    /// the packet is intercepted there first.
+    pub fn inject_at_router(&mut self, node: NodeId, mut pkt: Packet) {
+        pkt.injected_at.get_or_insert(self.now.0);
+        match self.ingress_handler.get(&node) {
+            Some(&dev) => {
+                let at = self.device_arrival_time(dev, self.now, pkt.weight);
+                self.push(at, EventKind::DeviceRecv { dev, pkt });
+            }
+            None => self.push(self.now, EventKind::Arrive { node, pkt }),
+        }
+    }
+
+    /// Runs until no events remain. Returns the number of events processed.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let mut n = 0;
+        while self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Processes a single event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        match ev.kind {
+            EventKind::Arrive { node, pkt } => {
+                self.record_trace(self.now, TraceLocation::Router(node), pkt.original, pkt.weight);
+                self.route_step(node, pkt)
+            }
+            EventKind::DeviceRecv { dev, pkt } => {
+                let Some(pkt) = self.maybe_reassemble(pkt) else {
+                    return true; // fragment buffered, waiting for the rest
+                };
+                self.stats.device_received[dev.index()] += pkt.weight;
+                if matches!(pkt.kind, PacketKind::LabelReady(_)) {
+                    self.stats.control_received += pkt.weight;
+                }
+                self.record_trace(self.now, TraceLocation::Device(dev), pkt.original, pkt.weight);
+                self.dispatch_device(dev, Some(pkt), None);
+            }
+            EventKind::Timer { dev, key } => {
+                self.dispatch_device(dev, None, Some(key));
+            }
+        }
+        true
+    }
+
+    fn dispatch_device(&mut self, dev: DeviceId, pkt: Option<Packet>, timer: Option<u64>) {
+        let slot = &mut self.devices[dev.index()];
+        let mut actions = std::mem::take(&mut self.actions);
+        let mut ctx = DeviceCtx {
+            now: self.now,
+            dev,
+            addr: slot.addr,
+            router: slot.router,
+            actions: &mut actions,
+        };
+        if let Some(p) = pkt {
+            slot.device.receive(&mut ctx, p);
+        }
+        if let Some(k) = timer {
+            slot.device.on_timer(&mut ctx, k);
+        }
+        let router = slot.router;
+        let attachment = slot.attachment;
+        for action in actions.drain(..) {
+            match action {
+                Action::Forward(p) => {
+                    let mut at = self.now;
+                    if attachment == Attachment::OffPath {
+                        self.stats.device_link_hops += p.weight;
+                        at = at.after(1);
+                    }
+                    self.push(at, EventKind::Arrive { node: router, pkt: p });
+                }
+                Action::DeliverLocal(p) => {
+                    if let Some(stub) = self.addrs.stub_at(router) {
+                        self.record_delivery(stub, &p);
+                    } else {
+                        self.stats.unroutable += p.weight;
+                    }
+                }
+                Action::SetTimer { delay, key } => {
+                    let at = self.now.after(delay);
+                    self.push(at, EventKind::Timer { dev, key });
+                }
+            }
+        }
+        self.actions = actions;
+    }
+
+    /// One routing step at `node` for `pkt`, per the outermost destination.
+    fn route_step(&mut self, node: NodeId, mut pkt: Packet) {
+        let dst = pkt.current_dst();
+
+        // Destination owned by a device?
+        if let Some(&dev) = self.addr_to_device.get(&dst) {
+            let target_router = self.devices[dev.index()].router;
+            if node == target_router {
+                let at = self.device_arrival_time(dev, self.now, pkt.weight);
+                self.push(at, EventKind::DeviceRecv { dev, pkt });
+                return;
+            }
+            self.forward_towards(node, target_router, pkt);
+            return;
+        }
+
+        // Destination inside a stub network?
+        if let Some(stub) = self.addrs.stub_of(dst) {
+            let edge = self.addrs.edge_router(stub);
+            if node == edge {
+                match self.stub_handler.get(&stub) {
+                    Some(&dev) => {
+                        let at = self.device_arrival_time(dev, self.now, pkt.weight);
+                        self.push(at, EventKind::DeviceRecv { dev, pkt });
+                    }
+                    None => {
+                        if let Some(whole) = self.maybe_reassemble(pkt) {
+                            self.record_delivery(stub, &whole);
+                        }
+                    }
+                }
+                return;
+            }
+            self.forward_towards(node, edge, pkt);
+            return;
+        }
+
+        // External destination: leave through the nearest gateway.
+        if self.topo.kind(node) == NodeKind::Gateway {
+            if let Some(whole) = self.maybe_reassemble(pkt) {
+                self.stats.delivered_external += whole.weight;
+                self.record_latency(&whole);
+                self.record_trace(
+                    self.now,
+                    TraceLocation::External(node),
+                    whole.original,
+                    whole.weight,
+                );
+            }
+            return;
+        }
+        let gw = self
+            .gateways
+            .iter()
+            .copied()
+            .filter_map(|g| self.routes.dist(node, g).map(|d| (d, g)))
+            .min();
+        match gw {
+            Some((_, g)) => self.forward_towards(node, g, pkt),
+            None => {
+                self.stats.unroutable += pkt.weight;
+                let _ = &mut pkt;
+            }
+        }
+    }
+
+    fn forward_towards(&mut self, node: NodeId, target: NodeId, mut pkt: Packet) {
+        let Some(nh) = self.pick_next_hop(node, target, &pkt) else {
+            self.stats.unroutable += pkt.weight;
+            return;
+        };
+        // TTL on the header routers actually forward on.
+        let hdr = pkt.outermost_mut();
+        if hdr.ttl == 0 {
+            self.stats.dropped_ttl += pkt.weight;
+            return;
+        }
+        hdr.ttl -= 1;
+
+        self.stats.link_hops += pkt.weight;
+        if let Some(link) = self.link_between(node, nh) {
+            self.stats.link_load[link] += pkt.weight;
+        }
+        if pkt.is_encapsulated() {
+            self.stats.encapsulated_hops += pkt.weight;
+        }
+        // Every byte beyond the bare packet (tunnel headers, pending
+        // source-route segments) is steering overhead on this link.
+        let extra = (pkt.wire_len() - pkt.payload_len - IP_HEADER_LEN) as u64;
+        if extra > 0 {
+            self.stats.extra_header_bytes += pkt.weight * extra;
+        }
+        if pkt.wire_len() > self.mtu {
+            self.stats.frag_events += pkt.weight;
+            if let Some(fragments) = self.try_fragment(&pkt) {
+                let at = self.now.after(1);
+                for f in fragments {
+                    self.push(at, EventKind::Arrive { node: nh, pkt: f });
+                }
+                return;
+            }
+        }
+        let at = self.now.after(1);
+        self.push(at, EventKind::Arrive { node: nh, pkt });
+    }
+
+    fn link_between(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        self.link_index.get(&(a, b)).copied()
+    }
+
+    /// The next hop for `pkt` from `node` towards `target`: the
+    /// deterministic table entry, or under ECMP a flow-hash pick among all
+    /// equal-cost next hops.
+    fn pick_next_hop(&self, node: NodeId, target: NodeId, pkt: &Packet) -> Option<NodeId> {
+        match self.ecmp {
+            EcmpMode::Disabled => self.routes.next_hop(node, target),
+            EcmpMode::FlowHash => {
+                let total = self.routes.dist(node, target)?;
+                let mut candidates: Vec<NodeId> = Vec::new();
+                for (v, c) in self.topo.neighbors(node) {
+                    if let Some(li) = self.link_between(node, v) {
+                        if self.failed_links.iter().any(|l| l.index() == li) {
+                            continue;
+                        }
+                    }
+                    if let Some(rest) = self.routes.dist(v, target) {
+                        if rest.saturating_add(c) == total {
+                            candidates.push(v);
+                        }
+                    }
+                }
+                if candidates.is_empty() {
+                    return self.routes.next_hop(node, target);
+                }
+                // flow-sticky pick, decorrelated per router
+                let mut z = pkt
+                    .original
+                    .stable_hash()
+                    .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(node.index() as u64 + 1));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                Some(candidates[(z % candidates.len() as u64) as usize])
+            }
+        }
+    }
+
+    /// Consumes a fragment into the reassembly buffer; returns the whole
+    /// packet once complete, `None` while fragments are outstanding.
+    fn maybe_reassemble(&mut self, pkt: Packet) -> Option<Packet> {
+        let Some(info) = pkt.frag else {
+            return Some(pkt);
+        };
+        let buf = self
+            .reassembly
+            .entry(info.id)
+            .or_insert_with(|| ReassemblyBuffer {
+                needed: info.count,
+                received: vec![false; info.count as usize],
+                payload: 0,
+                template: pkt.clone(),
+            });
+        if !buf.received[info.index as usize] {
+            buf.received[info.index as usize] = true;
+            buf.payload += pkt.payload_len;
+        }
+        if buf.received.iter().all(|&r| r) {
+            let buf = self.reassembly.remove(&info.id).expect("just present");
+            let mut whole = buf.template;
+            whole.payload_len = buf.payload;
+            whole.frag = None;
+            debug_assert_eq!(buf.needed as usize, buf.received.len());
+            self.stats.reassembly_events += 1;
+            Some(whole)
+        } else {
+            None
+        }
+    }
+
+    /// Splits an over-MTU packet into fragments that each fit the MTU.
+    /// Returns `None` when emulation does not apply (aggregates, control
+    /// packets, already-fragmented packets).
+    fn try_fragment(&mut self, pkt: &Packet) -> Option<Vec<Packet>> {
+        if self.frag_mode != FragmentationMode::Emulate
+            || pkt.weight != 1
+            || pkt.frag.is_some()
+            || !matches!(pkt.kind, PacketKind::Data)
+        {
+            return None;
+        }
+        let headers = pkt.wire_len() - pkt.payload_len;
+        let chunk = self.mtu.checked_sub(headers)?.max(8);
+        let count = pkt.payload_len.div_ceil(chunk).max(1);
+        if count <= 1 || count > u16::MAX as u32 {
+            return None;
+        }
+        self.frag_seq += 1;
+        let id = self.frag_seq;
+        let mut fragments = Vec::with_capacity(count as usize);
+        let mut remaining = pkt.payload_len;
+        for index in 0..count {
+            let mut f = pkt.clone();
+            f.payload_len = remaining.min(chunk);
+            remaining -= f.payload_len;
+            f.frag = Some(FragInfo {
+                id,
+                index: index as u16,
+                count: count as u16,
+            });
+            fragments.push(f);
+        }
+        self.stats.fragments_created += count as u64;
+        Some(fragments)
+    }
+
+    fn record_delivery(&mut self, stub: StubId, pkt: &Packet) {
+        self.stats.delivered += pkt.weight;
+        self.stats.delivered_per_stub[stub.index()] += pkt.weight;
+        self.record_latency(pkt);
+        self.record_trace(
+            self.now,
+            TraceLocation::Delivered(stub),
+            pkt.original,
+            pkt.weight,
+        );
+    }
+
+    fn record_latency(&mut self, pkt: &Packet) {
+        if let Some(t0) = pkt.injected_at {
+            let lat = self.now.0.saturating_sub(t0);
+            self.stats.latency_total += lat * pkt.weight;
+            self.stats.latency_max = self.stats.latency_max.max(lat);
+        }
+    }
+
+    fn device_arrival_time(&mut self, dev: DeviceId, base: SimTime, weight: u64) -> SimTime {
+        let arrival = match self.devices[dev.index()].attachment {
+            Attachment::InPath => base,
+            Attachment::OffPath => {
+                // one access-link traversal in (weight accounted on receive)
+                base.after(1)
+            }
+        };
+        self.enqueue_at_device(dev, arrival, weight)
+    }
+
+    /// Applies the device's service-time queue: returns when the packet
+    /// actually gets processed and advances the busy horizon.
+    fn enqueue_at_device(&mut self, dev: DeviceId, arrival: SimTime, weight: u64) -> SimTime {
+        let (ticks, busy_until) = self.service[dev.index()];
+        if ticks == 0 {
+            return arrival;
+        }
+        let start = arrival.max(busy_until);
+        let wait = start.0 - arrival.0;
+        self.stats.device_wait_total += wait * weight;
+        self.stats.device_wait_max = self.stats.device_wait_max.max(wait);
+        self.service[dev.index()].1 = start.after(ticks * weight);
+        start
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Queued { at, seq, kind }));
+    }
+}
+
+fn addrs_len(plan: &NetworkPlan) -> usize {
+    plan.edges().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FiveTuple, Protocol};
+    use sdm_topology::campus::campus;
+
+    fn flow(sim: &Simulator, from: StubId, to: StubId) -> FiveTuple {
+        FiveTuple {
+            src: sim.addresses().host(from, 0),
+            dst: sim.addresses().host(to, 0),
+            src_port: 4321,
+            dst_port: 80,
+            proto: Protocol::Tcp,
+        }
+    }
+
+    #[test]
+    fn plain_delivery_between_stubs() {
+        let plan = campus(1);
+        let mut sim = Simulator::new(&plan);
+        let ft = flow(&sim, StubId(0), StubId(3));
+        sim.inject_from_stub(StubId(0), Packet::data(ft, 500));
+        sim.run_until_idle();
+        assert_eq!(sim.stats().delivered, 1);
+        assert_eq!(sim.stats().delivered_per_stub[3], 1);
+        assert!(sim.stats().link_hops >= 2);
+        assert_eq!(sim.stats().frag_events, 0);
+    }
+
+    #[test]
+    fn weighted_packets_count_fully() {
+        let plan = campus(1);
+        let mut sim = Simulator::new(&plan);
+        let ft = flow(&sim, StubId(0), StubId(3));
+        sim.inject_from_stub(StubId(0), Packet::with_weight(ft, 500, 1000));
+        sim.run_until_idle();
+        assert_eq!(sim.stats().delivered, 1000);
+    }
+
+    #[test]
+    fn external_traffic_leaves_via_gateway() {
+        let plan = campus(1);
+        let mut sim = Simulator::new(&plan);
+        let mut ft = flow(&sim, StubId(0), StubId(1));
+        ft.dst = "93.184.216.34".parse().unwrap(); // external
+        sim.inject_from_stub(StubId(0), Packet::data(ft, 100));
+        sim.run_until_idle();
+        assert_eq!(sim.stats().delivered_external, 1);
+        assert_eq!(sim.stats().delivered, 0);
+    }
+
+    /// A device that tunnels every packet to a peer device, which
+    /// decapsulates and forwards to the real destination.
+    struct TunnelEntry {
+        peer: Ipv4Addr,
+    }
+    impl Device for TunnelEntry {
+        fn receive(&mut self, ctx: &mut DeviceCtx<'_>, mut pkt: Packet) {
+            pkt.encapsulate(ctx.addr(), self.peer);
+            ctx.forward(pkt);
+        }
+    }
+    struct TunnelExit;
+    impl Device for TunnelExit {
+        fn receive(&mut self, ctx: &mut DeviceCtx<'_>, mut pkt: Packet) {
+            pkt.decapsulate();
+            ctx.forward(pkt);
+        }
+    }
+
+    #[test]
+    fn tunneling_through_devices_delivers_and_counts() {
+        let plan = campus(2);
+        let mut sim = Simulator::new(&plan);
+        let exit_router = plan.cores()[5];
+        let (_exit_id, exit_addr) =
+            sim.attach(exit_router, Attachment::InPath, Box::new(TunnelExit));
+        let (entry_id, _) = sim.attach(
+            plan.edges()[0],
+            Attachment::InPath,
+            Box::new(TunnelEntry { peer: exit_addr }),
+        );
+        sim.set_stub_handler(StubId(0), entry_id);
+
+        let ft = flow(&sim, StubId(0), StubId(4));
+        sim.inject_from_stub(StubId(0), Packet::data(ft, 800));
+        sim.run_until_idle();
+        assert_eq!(sim.stats().delivered, 1);
+        assert!(sim.stats().encapsulated_hops > 0);
+        assert!(sim.stats().extra_header_bytes > 0);
+        assert_eq!(sim.stats().device_received[0], 1);
+        assert_eq!(sim.stats().device_received[1], 1);
+    }
+
+    #[test]
+    fn off_path_attachment_costs_access_hops() {
+        let plan = campus(2);
+        let mut sim = Simulator::new(&plan);
+        let exit_router = plan.cores()[5];
+        let (_exit, exit_addr) =
+            sim.attach(exit_router, Attachment::OffPath, Box::new(TunnelExit));
+        let (entry_id, _) = sim.attach(
+            plan.edges()[0],
+            Attachment::OffPath,
+            Box::new(TunnelEntry { peer: exit_addr }),
+        );
+        sim.set_stub_handler(StubId(0), entry_id);
+        let ft = flow(&sim, StubId(0), StubId(4));
+        sim.inject_from_stub(StubId(0), Packet::data(ft, 800));
+        sim.run_until_idle();
+        assert_eq!(sim.stats().delivered, 1);
+        assert!(sim.stats().device_link_hops >= 2);
+    }
+
+    #[test]
+    fn fragmentation_counted_when_encapsulation_exceeds_mtu() {
+        let plan = campus(2);
+        let mut sim = Simulator::new(&plan);
+        let exit_router = plan.cores()[5];
+        let (_exit, exit_addr) =
+            sim.attach(exit_router, Attachment::InPath, Box::new(TunnelExit));
+        let (entry_id, _) = sim.attach(
+            plan.edges()[0],
+            Attachment::InPath,
+            Box::new(TunnelEntry { peer: exit_addr }),
+        );
+        sim.set_stub_handler(StubId(0), entry_id);
+        let ft = flow(&sim, StubId(0), StubId(4));
+        // 1470 payload + 20 inner = 1490 fits MTU 1500; +20 tunnel = 1510 doesn't.
+        sim.inject_from_stub(StubId(0), Packet::data(ft, 1470));
+        sim.run_until_idle();
+        assert_eq!(sim.stats().delivered, 1);
+        assert!(sim.stats().frag_events > 0);
+        // fragmentation happened only on encapsulated hops
+        assert!(sim.stats().frag_events <= sim.stats().encapsulated_hops);
+    }
+
+    #[test]
+    fn ttl_expiry_drops() {
+        let plan = campus(1);
+        let mut sim = Simulator::new(&plan);
+        let mut pkt = Packet::data(flow(&sim, StubId(0), StubId(5)), 100);
+        pkt.inner.ttl = 1; // not enough for edge->core->...->edge
+        sim.inject_from_stub(StubId(0), pkt);
+        sim.run_until_idle();
+        assert_eq!(sim.stats().delivered, 0);
+        assert_eq!(sim.stats().dropped_ttl, 1);
+    }
+
+    struct TimerDevice {
+        fired: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    }
+    impl Device for TimerDevice {
+        fn receive(&mut self, ctx: &mut DeviceCtx<'_>, _pkt: Packet) {
+            ctx.set_timer(10, 42);
+        }
+        fn on_timer(&mut self, _ctx: &mut DeviceCtx<'_>, key: u64) {
+            self.fired
+                .store(key, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn timers_fire_after_delay() {
+        let plan = campus(1);
+        let mut sim = Simulator::new(&plan);
+        let fired = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let (dev, _) = sim.attach(
+            plan.edges()[0],
+            Attachment::InPath,
+            Box::new(TimerDevice { fired: fired.clone() }),
+        );
+        sim.set_stub_handler(StubId(0), dev);
+        let ft = flow(&sim, StubId(0), StubId(1));
+        sim.inject_from_stub(StubId(0), Packet::data(ft, 10));
+        sim.run_until_idle();
+        assert_eq!(fired.load(std::sync::atomic::Ordering::SeqCst), 42);
+        assert!(sim.now() >= SimTime(10));
+    }
+
+    #[test]
+    fn unroutable_without_gateway_is_counted() {
+        // Waxman plans have no gateways; external traffic is unroutable.
+        let plan = sdm_topology::waxman::waxman_with(
+            &sdm_topology::waxman::WaxmanConfig {
+                cores: 4,
+                edges: 8,
+                ..Default::default()
+            },
+            3,
+        );
+        let mut sim = Simulator::new(&plan);
+        let mut ft = flow(&sim, StubId(0), StubId(1));
+        ft.dst = "8.8.8.8".parse().unwrap();
+        sim.inject_from_stub(StubId(0), Packet::data(ft, 100));
+        sim.run_until_idle();
+        assert_eq!(sim.stats().unroutable, 1);
+    }
+
+    #[test]
+    fn event_order_is_time_then_fifo() {
+        let plan = campus(1);
+        let mut sim = Simulator::new(&plan);
+        let ft1 = flow(&sim, StubId(0), StubId(1));
+        let ft2 = flow(&sim, StubId(2), StubId(1));
+        sim.inject_from_stub(StubId(0), Packet::data(ft1, 10));
+        sim.inject_from_stub(StubId(2), Packet::data(ft2, 10));
+        let events = sim.run_until_idle();
+        assert!(events >= 4);
+        assert_eq!(sim.stats().delivered, 2);
+    }
+
+    #[test]
+    fn control_packets_counted() {
+        struct Sink;
+        impl Device for Sink {
+            fn receive(&mut self, _ctx: &mut DeviceCtx<'_>, _pkt: Packet) {}
+        }
+        let plan = campus(1);
+        let mut sim = Simulator::new(&plan);
+        let (_, addr) = sim.attach(plan.cores()[0], Attachment::InPath, Box::new(Sink));
+        let ft = flow(&sim, StubId(0), StubId(1));
+        let ctrl = Packet::control("172.16.0.99".parse().unwrap(), addr, ft);
+        sim.inject_at_router(plan.edges()[0], ctrl);
+        sim.run_until_idle();
+        assert_eq!(sim.stats().control_received, 1);
+    }
+}

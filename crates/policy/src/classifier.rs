@@ -1,0 +1,349 @@
+//! Trie-based multi-field packet classification.
+//!
+//! §III.D notes that large policy tables need software lookups "using
+//! trie-based data structures". This module implements the classic
+//! hierarchical-trie classifier: a binary trie on the source prefix whose
+//! nodes each hold a binary trie on the destination prefix; port and
+//! protocol conditions are verified on the (few) surviving candidates.
+//! Semantics are identical to the linear first-match scan of
+//! [`crate::PolicySet::first_match`] — a property the test-suite checks
+//! exhaustively and by fuzzing.
+
+use sdm_netsim::{FiveTuple, Ipv4Addr};
+
+use crate::policy::{Policy, PolicyId, PolicySet};
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct DstNode {
+    children: [u32; 2],
+    /// Ascending policy indices whose (src, dst) prefix pair terminates here.
+    policies: Vec<u32>,
+}
+
+impl DstNode {
+    fn new() -> Self {
+        DstNode {
+            children: [NONE, NONE],
+            policies: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SrcNode {
+    children: [u32; 2],
+    /// Root of this node's destination trie, or `NONE`.
+    dst_root: u32,
+}
+
+impl SrcNode {
+    fn new() -> Self {
+        SrcNode {
+            children: [NONE, NONE],
+            dst_root: NONE,
+        }
+    }
+}
+
+fn bit(addr: Ipv4Addr, depth: u8) -> usize {
+    ((addr.0 >> (31 - depth)) & 1) as usize
+}
+
+/// A hierarchical source×destination trie classifier over a [`PolicySet`].
+///
+/// Build once with [`TrieClassifier::build`]; lookups return the id of the
+/// first (highest-priority) matching policy, exactly like the linear scan.
+///
+/// # Example
+///
+/// ```
+/// use sdm_policy::{PolicySet, Policy, TrafficDescriptor, ActionList,
+///                  NetworkFunction, TrieClassifier};
+/// use sdm_netsim::{FiveTuple, Protocol};
+///
+/// let mut set = PolicySet::new();
+/// set.push(Policy::new(
+///     TrafficDescriptor::new().dst_port(80),
+///     ActionList::chain([NetworkFunction::Firewall]),
+/// ));
+/// let trie = TrieClassifier::build(&set);
+/// let ft = FiveTuple {
+///     src: "1.2.3.4".parse().unwrap(), dst: "5.6.7.8".parse().unwrap(),
+///     src_port: 1000, dst_port: 80, proto: Protocol::Tcp,
+/// };
+/// assert_eq!(trie.classify(&ft), set.first_match(&ft).map(|(id, _)| id));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrieClassifier {
+    src_nodes: Vec<SrcNode>,
+    dst_nodes: Vec<DstNode>,
+    policies: Vec<Policy>,
+}
+
+impl TrieClassifier {
+    /// Builds the classifier from a policy set.
+    pub fn build(set: &PolicySet) -> Self {
+        let mut c = TrieClassifier {
+            src_nodes: vec![SrcNode::new()],
+            dst_nodes: Vec::new(),
+            policies: set.iter().map(|(_, p)| p.clone()).collect(),
+        };
+        for (id, policy) in set.iter() {
+            c.insert(id, policy);
+        }
+        c
+    }
+
+    fn insert(&mut self, id: PolicyId, policy: &Policy) {
+        // Walk/create the source trie along the source prefix bits.
+        let src_prefix = policy.descriptor.src;
+        let mut s = 0usize;
+        for depth in 0..src_prefix.len() {
+            let b = bit(src_prefix.addr(), depth);
+            if self.src_nodes[s].children[b] == NONE {
+                self.src_nodes[s].children[b] = self.src_nodes.len() as u32;
+                self.src_nodes.push(SrcNode::new());
+            }
+            s = self.src_nodes[s].children[b] as usize;
+        }
+        // Walk/create that node's destination trie.
+        if self.src_nodes[s].dst_root == NONE {
+            self.src_nodes[s].dst_root = self.dst_nodes.len() as u32;
+            self.dst_nodes.push(DstNode::new());
+        }
+        let dst_prefix = policy.descriptor.dst;
+        let mut d = self.src_nodes[s].dst_root as usize;
+        for depth in 0..dst_prefix.len() {
+            let b = bit(dst_prefix.addr(), depth);
+            if self.dst_nodes[d].children[b] == NONE {
+                self.dst_nodes[d].children[b] = self.dst_nodes.len() as u32;
+                self.dst_nodes.push(DstNode::new());
+            }
+            d = self.dst_nodes[d].children[b] as usize;
+        }
+        // Ids are inserted in ascending order, keeping the list sorted.
+        self.dst_nodes[d].policies.push(id.0);
+    }
+
+    /// Number of policies the classifier was built over.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// True if built over an empty policy set.
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+
+    /// Returns the first (highest-priority) policy matching `ft`, or `None`.
+    ///
+    /// Equivalent to `set.first_match(ft).map(|(id, _)| id)` on the set the
+    /// classifier was built from.
+    pub fn classify(&self, ft: &FiveTuple) -> Option<PolicyId> {
+        let mut best = NONE;
+        // Visit every source-trie node whose prefix covers ft.src …
+        let mut s = 0usize;
+        let mut depth = 0u8;
+        loop {
+            self.scan_dst(self.src_nodes[s].dst_root, ft, &mut best);
+            if depth == 32 {
+                break;
+            }
+            let b = bit(ft.src, depth);
+            let child = self.src_nodes[s].children[b];
+            if child == NONE {
+                break;
+            }
+            s = child as usize;
+            depth += 1;
+        }
+        if best == NONE {
+            None
+        } else {
+            Some(PolicyId(best))
+        }
+    }
+
+    /// … and inside each, every destination-trie node covering ft.dst.
+    fn scan_dst(&self, root: u32, ft: &FiveTuple, best: &mut u32) {
+        if root == NONE {
+            return;
+        }
+        let mut d = root as usize;
+        let mut depth = 0u8;
+        loop {
+            for &cand in &self.dst_nodes[d].policies {
+                if cand >= *best {
+                    break; // sorted ascending; nothing better here
+                }
+                let p = &self.policies[cand as usize];
+                if p.descriptor.src_port.matches(ft.src_port)
+                    && p.descriptor.dst_port.matches(ft.dst_port)
+                    && p.descriptor.proto.matches(ft.proto)
+                {
+                    *best = cand;
+                    break;
+                }
+            }
+            if depth == 32 {
+                break;
+            }
+            let b = bit(ft.dst, depth);
+            let child = self.dst_nodes[d].children[b];
+            if child == NONE {
+                break;
+            }
+            d = child as usize;
+            depth += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionList, NetworkFunction::*};
+    use crate::descriptor::TrafficDescriptor;
+    use sdm_netsim::{Prefix, Protocol};
+
+    fn ft(src: &str, dst: &str, sp: u16, dp: u16) -> FiveTuple {
+        FiveTuple {
+            src: src.parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            src_port: sp,
+            dst_port: dp,
+            proto: Protocol::Tcp,
+        }
+    }
+
+    fn assert_equivalent(set: &PolicySet, samples: &[FiveTuple]) {
+        let trie = TrieClassifier::build(set);
+        for s in samples {
+            assert_eq!(
+                trie.classify(s),
+                set.first_match(s).map(|(id, _)| id),
+                "mismatch for {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_set_matches_nothing() {
+        let set = PolicySet::new();
+        let trie = TrieClassifier::build(&set);
+        assert!(trie.is_empty());
+        assert_eq!(trie.classify(&ft("1.1.1.1", "2.2.2.2", 1, 2)), None);
+    }
+
+    #[test]
+    fn wildcard_policy_matches_all() {
+        let mut set = PolicySet::new();
+        set.push(Policy::new(
+            TrafficDescriptor::new(),
+            ActionList::chain([Ids]),
+        ));
+        let trie = TrieClassifier::build(&set);
+        assert_eq!(trie.classify(&ft("1.1.1.1", "2.2.2.2", 1, 2)), Some(PolicyId(0)));
+    }
+
+    #[test]
+    fn priority_resolution_across_trie_paths() {
+        let mut set = PolicySet::new();
+        // specific src prefix, later id via dst-only path must lose
+        set.push(Policy::new(
+            TrafficDescriptor::new().dst_prefix("20.0.0.0/8".parse().unwrap()),
+            ActionList::chain([Firewall]),
+        ));
+        set.push(Policy::new(
+            TrafficDescriptor::new().src_prefix("10.0.0.0/8".parse().unwrap()),
+            ActionList::chain([Ids]),
+        ));
+        let samples = [
+            ft("10.1.1.1", "20.1.1.1", 5, 6), // matches both -> policy 0
+            ft("10.1.1.1", "30.1.1.1", 5, 6), // only policy 1
+            ft("40.1.1.1", "20.1.1.1", 5, 6), // only policy 0
+            ft("40.1.1.1", "30.1.1.1", 5, 6), // none
+        ];
+        assert_equivalent(&set, &samples);
+        let trie = TrieClassifier::build(&set);
+        assert_eq!(trie.classify(&samples[0]), Some(PolicyId(0)));
+    }
+
+    #[test]
+    fn port_conditions_filter_candidates() {
+        let mut set = PolicySet::new();
+        let p10: Prefix = "10.0.0.0/8".parse().unwrap();
+        set.push(Policy::new(
+            TrafficDescriptor::new().src_prefix(p10).dst_port(80),
+            ActionList::chain([Firewall]),
+        ));
+        set.push(Policy::new(
+            TrafficDescriptor::new().src_prefix(p10).dst_port(443),
+            ActionList::chain([Ids]),
+        ));
+        set.push(Policy::new(
+            TrafficDescriptor::new().src_prefix(p10),
+            ActionList::permit(),
+        ));
+        let trie = TrieClassifier::build(&set);
+        assert_eq!(trie.classify(&ft("10.1.1.1", "2.2.2.2", 1, 80)), Some(PolicyId(0)));
+        assert_eq!(trie.classify(&ft("10.1.1.1", "2.2.2.2", 1, 443)), Some(PolicyId(1)));
+        assert_eq!(trie.classify(&ft("10.1.1.1", "2.2.2.2", 1, 22)), Some(PolicyId(2)));
+    }
+
+    #[test]
+    fn nested_prefixes_all_visited() {
+        let mut set = PolicySet::new();
+        // /8 outer, /16 inner, /24 innermost — most specific added first
+        set.push(Policy::new(
+            TrafficDescriptor::new().src_prefix("10.1.1.0/24".parse().unwrap()),
+            ActionList::chain([Firewall]),
+        ));
+        set.push(Policy::new(
+            TrafficDescriptor::new().src_prefix("10.1.0.0/16".parse().unwrap()),
+            ActionList::chain([Ids]),
+        ));
+        set.push(Policy::new(
+            TrafficDescriptor::new().src_prefix("10.0.0.0/8".parse().unwrap()),
+            ActionList::chain([WebProxy]),
+        ));
+        let samples = [
+            ft("10.1.1.9", "2.2.2.2", 1, 2),
+            ft("10.1.2.9", "2.2.2.2", 1, 2),
+            ft("10.2.2.9", "2.2.2.2", 1, 2),
+            ft("11.0.0.1", "2.2.2.2", 1, 2),
+        ];
+        assert_equivalent(&set, &samples);
+    }
+
+    #[test]
+    fn protocol_conditions() {
+        let mut set = PolicySet::new();
+        set.push(Policy::new(
+            TrafficDescriptor::new().protocol(Protocol::Udp),
+            ActionList::chain([TrafficMonitor]),
+        ));
+        let trie = TrieClassifier::build(&set);
+        let mut t = ft("1.1.1.1", "2.2.2.2", 1, 2);
+        assert_eq!(trie.classify(&t), None);
+        t.proto = Protocol::Udp;
+        assert_eq!(trie.classify(&t), Some(PolicyId(0)));
+    }
+
+    #[test]
+    fn full_host_prefixes_work() {
+        let mut set = PolicySet::new();
+        set.push(Policy::new(
+            TrafficDescriptor::new()
+                .src_prefix(Prefix::host("10.0.0.7".parse().unwrap()))
+                .dst_prefix(Prefix::host("10.0.0.8".parse().unwrap())),
+            ActionList::chain([Ids]),
+        ));
+        let trie = TrieClassifier::build(&set);
+        assert_eq!(trie.classify(&ft("10.0.0.7", "10.0.0.8", 1, 2)), Some(PolicyId(0)));
+        assert_eq!(trie.classify(&ft("10.0.0.7", "10.0.0.9", 1, 2)), None);
+        assert_eq!(trie.classify(&ft("10.0.0.6", "10.0.0.8", 1, 2)), None);
+    }
+}

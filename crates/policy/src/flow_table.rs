@@ -1,0 +1,364 @@
+//! The per-node flow cache of §III.D: a hash table from flow identifier to
+//! action list that spares most packets the multi-field policy lookup, with
+//! soft-state expiry and negative caching, extended with the label fields
+//! of §III.E.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sdm_netsim::{FiveTuple, Label, SimTime};
+
+use crate::action::ActionList;
+use crate::policy::PolicyId;
+
+/// What the cache knows about one flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEntry {
+    /// The action list to apply; `None` is the negative-cache marker
+    /// `⟨f, null⟩` — the flow matches no policy and is forwarded untouched.
+    pub action: Option<(PolicyId, ActionList)>,
+    /// The locally-unique steering label assigned by a proxy (§III.E).
+    pub label: Option<Label>,
+    /// Set once the proxy received the label-ready control packet; from
+    /// then on packets are label-switched instead of tunneled.
+    pub label_switched: bool,
+    last_seen: SimTime,
+}
+
+impl FlowEntry {
+    /// True if this is a negative (no-policy) entry.
+    pub fn is_negative(&self) -> bool {
+        self.action.is_none()
+    }
+}
+
+/// Outcome counters of a flow table, for the cache-effectiveness ablation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowTableStats {
+    /// Weighted lookups that found a live entry.
+    pub hits: u64,
+    /// Weighted lookups that found nothing (or only an expired entry).
+    pub misses: u64,
+    /// Entries dropped by soft-state expiry.
+    pub expired: u64,
+}
+
+/// Soft-state flow cache: `⟨f, a⟩` pairs keyed by 5-tuple, timed out after
+/// `ttl` ticks without a matching packet (§III.D).
+///
+/// # Example
+///
+/// ```
+/// use sdm_policy::{FlowTable, ActionList, NetworkFunction, PolicyId};
+/// use sdm_netsim::{FiveTuple, Protocol, SimTime};
+///
+/// let mut table = FlowTable::new(100);
+/// let ft = FiveTuple {
+///     src: "10.0.0.1".parse().unwrap(), dst: "10.1.0.1".parse().unwrap(),
+///     src_port: 4000, dst_port: 80, proto: Protocol::Tcp,
+/// };
+/// assert!(table.lookup(&ft, SimTime(0), 1).is_none());
+/// table.insert_positive(ft, PolicyId(0),
+///     ActionList::chain([NetworkFunction::Firewall]), SimTime(0));
+/// assert!(table.lookup(&ft, SimTime(50), 1).is_some());   // alive
+/// assert!(table.lookup(&ft, SimTime(500), 1).is_none());  // expired
+/// ```
+#[derive(Debug)]
+pub struct FlowTable {
+    entries: HashMap<FiveTuple, FlowEntry>,
+    ttl: u64,
+    stats: FlowTableStats,
+}
+
+impl FlowTable {
+    /// Creates an empty table whose entries expire `ttl` ticks after their
+    /// last matching packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttl == 0`.
+    pub fn new(ttl: u64) -> Self {
+        assert!(ttl > 0, "flow-table ttl must be positive");
+        FlowTable {
+            entries: HashMap::new(),
+            ttl,
+            stats: FlowTableStats::default(),
+        }
+    }
+
+    /// Looks up a flow, refreshing its soft state. `weight` packets are
+    /// accounted to the hit/miss counters. Expired entries are removed and
+    /// count as misses.
+    pub fn lookup(&mut self, ft: &FiveTuple, now: SimTime, weight: u64) -> Option<&FlowEntry> {
+        // Borrow-checker friendly: decide fate first, then reborrow.
+        let fate = match self.entries.get(ft) {
+            None => 0u8,
+            Some(e) if now.0.saturating_sub(e.last_seen.0) > self.ttl => 1,
+            Some(_) => 2,
+        };
+        match fate {
+            0 => {
+                self.stats.misses += weight;
+                None
+            }
+            1 => {
+                self.entries.remove(ft);
+                self.stats.expired += 1;
+                self.stats.misses += weight;
+                None
+            }
+            _ => {
+                self.stats.hits += weight;
+                let e = self.entries.get_mut(ft).expect("checked above");
+                e.last_seen = now;
+                Some(e)
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a positive entry mapping the flow to a policy's
+    /// action list.
+    pub fn insert_positive(
+        &mut self,
+        ft: FiveTuple,
+        policy: PolicyId,
+        actions: ActionList,
+        now: SimTime,
+    ) {
+        self.entries.insert(
+            ft,
+            FlowEntry {
+                action: Some((policy, actions)),
+                label: None,
+                label_switched: false,
+                last_seen: now,
+            },
+        );
+    }
+
+    /// Inserts the negative marker `⟨f, null⟩` so later packets of the flow
+    /// skip the policy table entirely (§III.D).
+    pub fn insert_negative(&mut self, ft: FiveTuple, now: SimTime) {
+        self.entries.insert(
+            ft,
+            FlowEntry {
+                action: None,
+                label: None,
+                label_switched: false,
+                last_seen: now,
+            },
+        );
+    }
+
+    /// Attaches a steering label to an existing entry (proxy-side, §III.E).
+    /// Returns false if the flow is unknown.
+    pub fn set_label(&mut self, ft: &FiveTuple, label: Label) -> bool {
+        match self.entries.get_mut(ft) {
+            Some(e) => {
+                e.label = Some(label);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Flags an entry for label switching after the control packet returned
+    /// (§III.E). Returns false if the flow is unknown.
+    pub fn flag_label_switched(&mut self, ft: &FiveTuple) -> bool {
+        match self.entries.get_mut(ft) {
+            Some(e) => {
+                e.label_switched = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops every entry not refreshed within the ttl as of `now`; returns
+    /// how many were dropped.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let ttl = self.ttl;
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, e| now.0.saturating_sub(e.last_seen.0) <= ttl);
+        let dropped = before - self.entries.len();
+        self.stats.expired += dropped as u64;
+        dropped
+    }
+
+    /// Live entry count (including possibly-stale entries not yet purged).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss/expiry counters.
+    pub fn stats(&self) -> FlowTableStats {
+        self.stats
+    }
+}
+
+impl fmt::Display for FlowTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flow-table: {} entries, {} hits, {} misses, {} expired",
+            self.entries.len(),
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.expired
+        )
+    }
+}
+
+/// Allocates labels that are locally unique among live flows (§III.E: "an
+/// extra label field, l, which is locally unique in the table").
+///
+/// Freed labels are recycled; allocation fails only when all 2^16 labels
+/// are simultaneously live.
+#[derive(Debug, Default)]
+pub struct LabelAllocator {
+    next: u32,
+    free: Vec<Label>,
+    live: u32,
+}
+
+impl LabelAllocator {
+    /// Creates an allocator with all labels free.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a label, or `None` if the 16-bit space is exhausted.
+    pub fn allocate(&mut self) -> Option<Label> {
+        if let Some(l) = self.free.pop() {
+            self.live += 1;
+            return Some(l);
+        }
+        if self.next > u16::MAX as u32 {
+            return None;
+        }
+        let l = Label(self.next as u16);
+        self.next += 1;
+        self.live += 1;
+        Some(l)
+    }
+
+    /// Returns a label to the pool.
+    pub fn release(&mut self, label: Label) {
+        self.free.push(label);
+        self.live = self.live.saturating_sub(1);
+    }
+
+    /// Number of labels currently allocated.
+    pub fn live(&self) -> u32 {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::NetworkFunction::*;
+    use sdm_netsim::Protocol;
+
+    fn ft(sp: u16) -> FiveTuple {
+        FiveTuple {
+            src: "10.0.0.1".parse().unwrap(),
+            dst: "10.1.0.1".parse().unwrap(),
+            src_port: sp,
+            dst_port: 80,
+            proto: Protocol::Tcp,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = FlowTable::new(100);
+        assert!(t.lookup(&ft(1), SimTime(0), 1).is_none());
+        t.insert_positive(ft(1), PolicyId(3), ActionList::chain([Firewall]), SimTime(0));
+        let e = t.lookup(&ft(1), SimTime(10), 5).unwrap();
+        assert_eq!(e.action.as_ref().unwrap().0, PolicyId(3));
+        assert_eq!(t.stats(), FlowTableStats { hits: 5, misses: 1, expired: 0 });
+    }
+
+    #[test]
+    fn soft_state_expires_and_refreshes() {
+        let mut t = FlowTable::new(100);
+        t.insert_positive(ft(1), PolicyId(0), ActionList::permit(), SimTime(0));
+        // refresh at t=90 extends lifetime past t=150
+        assert!(t.lookup(&ft(1), SimTime(90), 1).is_some());
+        assert!(t.lookup(&ft(1), SimTime(150), 1).is_some());
+        // silence until t=300 expires it
+        assert!(t.lookup(&ft(1), SimTime(300), 1).is_none());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.stats().expired, 1);
+    }
+
+    #[test]
+    fn negative_caching() {
+        let mut t = FlowTable::new(100);
+        t.insert_negative(ft(2), SimTime(0));
+        let e = t.lookup(&ft(2), SimTime(1), 1).unwrap();
+        assert!(e.is_negative());
+        assert!(e.action.is_none());
+    }
+
+    #[test]
+    fn label_lifecycle() {
+        let mut t = FlowTable::new(100);
+        t.insert_positive(ft(3), PolicyId(0), ActionList::chain([Ids]), SimTime(0));
+        assert!(t.set_label(&ft(3), Label(7)));
+        assert!(!t.flag_label_switched(&ft(9)));
+        assert!(t.flag_label_switched(&ft(3)));
+        let e = t.lookup(&ft(3), SimTime(1), 1).unwrap();
+        assert_eq!(e.label, Some(Label(7)));
+        assert!(e.label_switched);
+    }
+
+    #[test]
+    fn purge_expired_bulk() {
+        let mut t = FlowTable::new(50);
+        for p in 0..10 {
+            t.insert_positive(ft(p), PolicyId(0), ActionList::permit(), SimTime(p as u64));
+        }
+        // at t=56 with ttl 50, entries with last_seen < 6 are stale
+        let dropped = t.purge_expired(SimTime(56));
+        assert_eq!(dropped, 6);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ttl")]
+    fn zero_ttl_rejected() {
+        let _ = FlowTable::new(0);
+    }
+
+    #[test]
+    fn allocator_unique_and_recycles() {
+        let mut a = LabelAllocator::new();
+        let l1 = a.allocate().unwrap();
+        let l2 = a.allocate().unwrap();
+        assert_ne!(l1, l2);
+        assert_eq!(a.live(), 2);
+        a.release(l1);
+        assert_eq!(a.live(), 1);
+        let l3 = a.allocate().unwrap();
+        assert_eq!(l3, l1); // recycled
+    }
+
+    #[test]
+    fn allocator_exhausts_at_64k() {
+        let mut a = LabelAllocator::new();
+        for _ in 0..=u16::MAX as u32 {
+            assert!(a.allocate().is_some());
+        }
+        assert!(a.allocate().is_none());
+        a.release(Label(123));
+        assert_eq!(a.allocate(), Some(Label(123)));
+    }
+}

@@ -1,0 +1,221 @@
+//! The middlebox label table of §III.E: `⟨src | l, a⟩` entries (the last
+//! middlebox in a chain also stores the flow's final destination `dst`),
+//! keyed by the concatenation of the flow's source address and the
+//! proxy-assigned label.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sdm_netsim::{Ipv4Addr, Label, SimTime};
+
+use crate::action::ActionList;
+use crate::policy::PolicyId;
+
+/// The lookup key `src | l`: source address concatenated with label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LabelKey {
+    /// The flow's (inner) source address.
+    pub src: Ipv4Addr,
+    /// The proxy-assigned label carried in the packet header.
+    pub label: Label,
+}
+
+impl fmt::Display for LabelKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}|{}", self.src, self.label)
+    }
+}
+
+/// One label-table entry at a middlebox.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelEntry {
+    /// The action list retrieved from the policy table when the first
+    /// packet passed through.
+    pub actions: ActionList,
+    /// Which policy produced the action list.
+    pub policy: PolicyId,
+    /// Position of *this* middlebox's function within `actions`.
+    pub position: usize,
+    /// Address of the next middlebox chosen for this flow (pinned when the
+    /// first packet passed through, so label-switched packets follow the
+    /// same path), or `None` at the last middlebox.
+    pub next_hop: Option<Ipv4Addr>,
+    /// The flow's original destination — stored only by the last middlebox
+    /// in the chain (`⟨src | l, a, dst⟩`).
+    pub final_dst: Option<Ipv4Addr>,
+    last_seen: SimTime,
+}
+
+/// Soft-state label table (§III.E), one per middlebox.
+///
+/// # Example
+///
+/// ```
+/// use sdm_policy::{LabelTable, LabelKey, ActionList, NetworkFunction, PolicyId};
+/// use sdm_netsim::{Label, SimTime};
+///
+/// let mut t = LabelTable::new(1000);
+/// let key = LabelKey { src: "10.0.0.1".parse().unwrap(), label: Label(1) };
+/// t.insert(key, ActionList::chain([NetworkFunction::Firewall]), PolicyId(0),
+///          0, Some("172.16.0.2".parse().unwrap()), None, SimTime(0));
+/// assert!(t.lookup(&key, SimTime(10)).is_some());
+/// ```
+#[derive(Debug)]
+pub struct LabelTable {
+    entries: HashMap<LabelKey, LabelEntry>,
+    ttl: u64,
+}
+
+impl LabelTable {
+    /// Creates an empty table with soft-state lifetime `ttl` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttl == 0`.
+    pub fn new(ttl: u64) -> Self {
+        assert!(ttl > 0, "label-table ttl must be positive");
+        LabelTable {
+            entries: HashMap::new(),
+            ttl,
+        }
+    }
+
+    /// Installs an entry for `key`. Replaces any previous entry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert(
+        &mut self,
+        key: LabelKey,
+        actions: ActionList,
+        policy: PolicyId,
+        position: usize,
+        next_hop: Option<Ipv4Addr>,
+        final_dst: Option<Ipv4Addr>,
+        now: SimTime,
+    ) {
+        self.entries.insert(
+            key,
+            LabelEntry {
+                actions,
+                policy,
+                position,
+                next_hop,
+                final_dst,
+                last_seen: now,
+            },
+        );
+    }
+
+    /// Looks up a label key, refreshing its soft state; expired entries are
+    /// removed and report as misses.
+    pub fn lookup(&mut self, key: &LabelKey, now: SimTime) -> Option<&LabelEntry> {
+        let expired = match self.entries.get(key) {
+            None => return None,
+            Some(e) => now.0.saturating_sub(e.last_seen.0) > self.ttl,
+        };
+        if expired {
+            self.entries.remove(key);
+            return None;
+        }
+        let e = self.entries.get_mut(key).expect("checked above");
+        e.last_seen = now;
+        Some(e)
+    }
+
+    /// Removes an entry, returning it if present.
+    pub fn remove(&mut self, key: &LabelKey) -> Option<LabelEntry> {
+        self.entries.remove(key)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::NetworkFunction::*;
+
+    fn key(label: u16) -> LabelKey {
+        LabelKey {
+            src: "10.0.0.1".parse().unwrap(),
+            label: Label(label),
+        }
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut t = LabelTable::new(100);
+        t.insert(
+            key(1),
+            ActionList::chain([Firewall, Ids]),
+            PolicyId(2),
+            0,
+            Some("172.16.0.5".parse().unwrap()),
+            None,
+            SimTime(0),
+        );
+        let e = t.lookup(&key(1), SimTime(5)).unwrap();
+        assert_eq!(e.policy, PolicyId(2));
+        assert_eq!(e.position, 0);
+        assert_eq!(e.next_hop, Some("172.16.0.5".parse().unwrap()));
+        assert_eq!(e.final_dst, None);
+        assert!(t.remove(&key(1)).is_some());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn last_hop_entry_stores_dst() {
+        let mut t = LabelTable::new(100);
+        t.insert(
+            key(2),
+            ActionList::chain([Ids]),
+            PolicyId(0),
+            0,
+            None,
+            Some("10.5.0.9".parse().unwrap()),
+            SimTime(0),
+        );
+        let e = t.lookup(&key(2), SimTime(1)).unwrap();
+        assert_eq!(e.final_dst, Some("10.5.0.9".parse().unwrap()));
+        assert!(e.next_hop.is_none());
+    }
+
+    #[test]
+    fn distinct_sources_do_not_collide() {
+        let mut t = LabelTable::new(100);
+        let k1 = LabelKey {
+            src: "10.0.0.1".parse().unwrap(),
+            label: Label(7),
+        };
+        let k2 = LabelKey {
+            src: "10.0.0.2".parse().unwrap(),
+            label: Label(7),
+        };
+        t.insert(k1, ActionList::permit(), PolicyId(0), 0, None, None, SimTime(0));
+        assert!(t.lookup(&k2, SimTime(0)).is_none());
+        assert!(t.lookup(&k1, SimTime(0)).is_some());
+    }
+
+    #[test]
+    fn soft_state_expiry() {
+        let mut t = LabelTable::new(10);
+        t.insert(key(3), ActionList::permit(), PolicyId(0), 0, None, None, SimTime(0));
+        assert!(t.lookup(&key(3), SimTime(9)).is_some()); // refreshes
+        assert!(t.lookup(&key(3), SimTime(18)).is_some());
+        assert!(t.lookup(&key(3), SimTime(40)).is_none()); // expired
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ttl")]
+    fn zero_ttl_rejected() {
+        let _ = LabelTable::new(0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The classifier a proxy or middlebox actually runs against its local
+//! policy table `P_x`: either the straightforward linear first-match scan
+//! or the hierarchical trie of [`crate::TrieClassifier`] (§III.D's
+//! software lookup), behind one interface.
+
+use serde::{Deserialize, Serialize};
+
+use sdm_netsim::FiveTuple;
+
+use crate::classifier::TrieClassifier;
+use crate::policy::{Policy, PolicyId, PolicySet, ProjectedPolicies};
+
+/// Which lookup structure a device builds over its local policy table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ClassifierKind {
+    /// Linear first-match scan — fine for the small per-node tables of the
+    /// paper's evaluation.
+    #[default]
+    Linear,
+    /// Hierarchical source×destination trie — flat per-lookup cost, the
+    /// right choice for large policy tables (§III.D).
+    Trie,
+}
+
+/// A device-local policy classifier over a projection `P_x`, preserving
+/// global policy ids and first-match priority.
+///
+/// # Example
+///
+/// ```
+/// use sdm_policy::*;
+/// use sdm_netsim::{FiveTuple, Protocol};
+///
+/// let mut set = PolicySet::new();
+/// let id = set.push(Policy::new(
+///     TrafficDescriptor::new().dst_port(80),
+///     ActionList::chain([NetworkFunction::Firewall]),
+/// ));
+/// let projection = set.project(&[id]);
+/// let linear = LocalClassifier::new(projection.clone(), ClassifierKind::Linear);
+/// let trie = LocalClassifier::new(projection, ClassifierKind::Trie);
+/// let ft = FiveTuple {
+///     src: "10.0.0.1".parse().unwrap(), dst: "10.1.0.1".parse().unwrap(),
+///     src_port: 9000, dst_port: 80, proto: Protocol::Tcp,
+/// };
+/// assert_eq!(linear.first_match(&ft).unwrap().0, id);
+/// assert_eq!(trie.first_match(&ft).unwrap().0, id);
+/// ```
+#[derive(Debug)]
+pub struct LocalClassifier {
+    table: ProjectedPolicies,
+    /// Trie over the densified projection, plus the dense→global id map.
+    trie: Option<(TrieClassifier, Vec<PolicyId>)>,
+}
+
+impl LocalClassifier {
+    /// Builds the classifier of the requested kind over a projection.
+    pub fn new(table: ProjectedPolicies, kind: ClassifierKind) -> Self {
+        let trie = match kind {
+            ClassifierKind::Linear => None,
+            ClassifierKind::Trie => {
+                // Densify: projection order is global priority order, so
+                // dense ids preserve first-match semantics.
+                let ids: Vec<PolicyId> = table.iter().map(|(id, _)| id).collect();
+                let dense: PolicySet = table.iter().map(|(_, p)| p.clone()).collect();
+                Some((TrieClassifier::build(&dense), ids))
+            }
+        };
+        LocalClassifier { table, trie }
+    }
+
+    /// First matching policy in global priority order, with its global id.
+    pub fn first_match(&self, ft: &FiveTuple) -> Option<(PolicyId, &Policy)> {
+        match &self.trie {
+            None => self.table.first_match(ft),
+            Some((trie, ids)) => {
+                let dense = trie.classify(ft)?;
+                let global = ids[dense.index()];
+                Some((global, self.table.get(global)?))
+            }
+        }
+    }
+
+    /// Number of local policies.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The underlying projection.
+    pub fn table(&self) -> &ProjectedPolicies {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionList, NetworkFunction::*};
+    use crate::descriptor::TrafficDescriptor;
+    use sdm_netsim::{Prefix, Protocol};
+
+    fn ft(src: &str, dst: &str, dp: u16) -> FiveTuple {
+        FiveTuple {
+            src: src.parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            src_port: 9999,
+            dst_port: dp,
+            proto: Protocol::Tcp,
+        }
+    }
+
+    fn sample_set() -> PolicySet {
+        let mut set = PolicySet::new();
+        set.push(Policy::new(
+            TrafficDescriptor::new()
+                .src_prefix("10.0.0.0/12".parse::<Prefix>().unwrap())
+                .dst_port(80),
+            ActionList::chain([Firewall]),
+        ));
+        set.push(Policy::new(
+            TrafficDescriptor::new().dst_port(80),
+            ActionList::chain([Ids]),
+        ));
+        set.push(Policy::new(
+            TrafficDescriptor::new().dst_port(22),
+            ActionList::chain([TrafficMonitor]),
+        ));
+        set
+    }
+
+    #[test]
+    fn both_kinds_agree_with_global_ids() {
+        let set = sample_set();
+        // project a subset out of order
+        let proj = set.project(&[PolicyId(2), PolicyId(0)]);
+        let linear = LocalClassifier::new(proj.clone(), ClassifierKind::Linear);
+        let trie = LocalClassifier::new(proj, ClassifierKind::Trie);
+        for t in [
+            ft("10.1.0.1", "20.0.0.1", 80),
+            ft("99.0.0.1", "20.0.0.1", 80),
+            ft("10.1.0.1", "20.0.0.1", 22),
+            ft("10.1.0.1", "20.0.0.1", 443),
+        ] {
+            assert_eq!(
+                linear.first_match(&t).map(|(id, _)| id),
+                trie.first_match(&t).map(|(id, _)| id),
+                "packet {t}"
+            );
+        }
+        // global ids survive the trie densification
+        assert_eq!(
+            trie.first_match(&ft("10.1.0.1", "2.2.2.2", 80)).unwrap().0,
+            PolicyId(0)
+        );
+        assert_eq!(
+            trie.first_match(&ft("10.1.0.1", "2.2.2.2", 22)).unwrap().0,
+            PolicyId(2)
+        );
+    }
+
+    #[test]
+    fn empty_projection_matches_nothing() {
+        let proj = ProjectedPolicies::default();
+        for kind in [ClassifierKind::Linear, ClassifierKind::Trie] {
+            let c = LocalClassifier::new(proj.clone(), kind);
+            assert!(c.is_empty());
+            assert!(c.first_match(&ft("1.1.1.1", "2.2.2.2", 80)).is_none());
+        }
+    }
+
+    #[test]
+    fn priority_preserved_within_projection() {
+        let set = sample_set();
+        let proj = set.project(&[PolicyId(0), PolicyId(1)]);
+        let trie = LocalClassifier::new(proj, ClassifierKind::Trie);
+        // a 10/12-sourced web packet matches both; policy 0 must win
+        assert_eq!(
+            trie.first_match(&ft("10.1.0.1", "2.2.2.2", 80)).unwrap().0,
+            PolicyId(0)
+        );
+        // outside 10/12, only policy 1 matches
+        assert_eq!(
+            trie.first_match(&ft("99.1.0.1", "2.2.2.2", 80)).unwrap().0,
+            PolicyId(1)
+        );
+    }
+}

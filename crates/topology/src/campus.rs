@@ -1,0 +1,165 @@
+//! The real-world campus topology used in the paper's evaluation (§IV.A):
+//! two Internet gateways, 16 core routers each connected to both gateways,
+//! and 10 edge routers hosting the stub networks.
+//!
+//! The paper gives the node counts and the gateway wiring but not the exact
+//! core-to-core and core-to-edge cabling; we complete the graph
+//! deterministically from a seed: cores form a ring (a common campus
+//! redundancy pattern) plus a few seeded chords, and every edge router is
+//! dual-homed to two distinct cores.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{NodeKind, Topology};
+use crate::plan::NetworkPlan;
+
+/// Number of Internet gateways in the campus topology.
+pub const GATEWAYS: usize = 2;
+/// Number of core routers in the campus topology.
+pub const CORES: usize = 16;
+/// Number of edge routers (stub networks) in the campus topology.
+pub const EDGES: usize = 10;
+
+/// Generates the campus topology of §IV.A.
+///
+/// All link costs are 1 (hop-count routing). The result is deterministic in
+/// `seed` and always connected.
+///
+/// # Example
+///
+/// ```
+/// let plan = sdm_topology::campus::campus(1);
+/// let t = plan.topology();
+/// // every core router connects to both gateways
+/// for &c in plan.cores() {
+///     assert!(t.has_link(c, plan.gateways()[0]));
+///     assert!(t.has_link(c, plan.gateways()[1]));
+/// }
+/// ```
+pub fn campus(seed: u64) -> NetworkPlan {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Topology::new();
+
+    let gateways: Vec<_> = (0..GATEWAYS)
+        .map(|i| t.add_node(NodeKind::Gateway, format!("gw{i}")))
+        .collect();
+    let cores: Vec<_> = (0..CORES)
+        .map(|i| t.add_node(NodeKind::CoreRouter, format!("core{i}")))
+        .collect();
+    let edges: Vec<_> = (0..EDGES)
+        .map(|i| t.add_node(NodeKind::EdgeRouter, format!("edge{i}")))
+        .collect();
+
+    // Each core router connects to both gateways (stated in the paper).
+    for &c in &cores {
+        for &g in &gateways {
+            t.add_link(c, g, 1).expect("fresh links cannot collide");
+        }
+    }
+
+    // Core ring for direct core-to-core connectivity.
+    for i in 0..CORES {
+        let a = cores[i];
+        let b = cores[(i + 1) % CORES];
+        t.add_link(a, b, 1).expect("ring links are unique");
+    }
+
+    // A few seeded chords across the ring for realistic path diversity.
+    let chords = CORES / 4;
+    let mut added = 0;
+    while added < chords {
+        let a = cores[rng.gen_range(0..CORES)];
+        let b = cores[rng.gen_range(0..CORES)];
+        if a != b && !t.has_link(a, b) {
+            t.add_link(a, b, 1).expect("checked not duplicate");
+            added += 1;
+        }
+    }
+
+    // Every edge router is dual-homed to two distinct cores, spread evenly.
+    let mut order: Vec<usize> = (0..CORES).collect();
+    order.shuffle(&mut rng);
+    for (i, &e) in edges.iter().enumerate() {
+        let c1 = cores[order[(2 * i) % CORES]];
+        let c2 = cores[order[(2 * i + 1) % CORES]];
+        t.add_link(e, c1, 1).expect("edge uplinks are unique");
+        t.add_link(e, c2, 1).expect("edge uplinks are unique");
+    }
+
+    debug_assert!(t.is_connected());
+    NetworkPlan::new(t, gateways, cores, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    #[test]
+    fn node_counts_match_paper() {
+        let plan = campus(0);
+        assert_eq!(plan.gateways().len(), GATEWAYS);
+        assert_eq!(plan.cores().len(), CORES);
+        assert_eq!(plan.edges().len(), EDGES);
+        assert_eq!(plan.topology().node_count(), GATEWAYS + CORES + EDGES);
+    }
+
+    #[test]
+    fn cores_connect_to_both_gateways() {
+        let plan = campus(3);
+        for &c in plan.cores() {
+            for &g in plan.gateways() {
+                assert!(plan.topology().has_link(c, g));
+            }
+        }
+    }
+
+    #[test]
+    fn edges_are_dual_homed_to_cores() {
+        let plan = campus(5);
+        for &e in plan.edges() {
+            assert_eq!(plan.topology().degree(e), 2);
+            for (n, _) in plan.topology().neighbors(e) {
+                assert_eq!(plan.topology().kind(n), NodeKind::CoreRouter);
+            }
+        }
+    }
+
+    #[test]
+    fn connected_and_deterministic() {
+        let a = campus(9);
+        let b = campus(9);
+        assert!(a.topology().is_connected());
+        assert_eq!(a.topology().link_count(), b.topology().link_count());
+        for la in 0..a.topology().link_count() {
+            let id = crate::LinkId(la as u32);
+            assert_eq!(a.topology().link(id), b.topology().link(id));
+        }
+    }
+
+    #[test]
+    fn different_seeds_change_wiring() {
+        let a = campus(1);
+        let b = campus(2);
+        // Same counts, but at least one chord or edge uplink should differ.
+        let same = (0..a.topology().link_count()).all(|i| {
+            a.topology().link(crate::LinkId(i as u32)) == b.topology().link(crate::LinkId(i as u32))
+        });
+        assert!(!same);
+    }
+
+    #[test]
+    fn every_stub_reaches_every_gateway() {
+        let plan = campus(11);
+        let rt = plan.topology().routing_tables();
+        for &e in plan.edges() {
+            for &g in plan.gateways() {
+                assert!(rt.dist(e, g).is_some());
+                // edge -> core -> gateway is 2 hops
+                assert_eq!(rt.dist(e, g), Some(2));
+            }
+        }
+    }
+}

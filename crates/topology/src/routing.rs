@@ -1,0 +1,408 @@
+//! OSPF-style shortest-path routing: Dijkstra per source with deterministic
+//! tie-breaking, yielding all-pairs distances and next-hop tables.
+//!
+//! Routers in the paper's model forward packets along OSPF shortest paths and
+//! are oblivious to policies. All steering decisions made by proxies and
+//! middleboxes therefore ride on these tables.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::{NodeId, Topology};
+
+/// A loop-free path through the network, as a sequence of node ids from
+/// source to destination (both inclusive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    cost: u32,
+}
+
+impl Path {
+    /// The nodes along the path, source first, destination last.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Total additive cost of the path.
+    pub fn cost(&self) -> u32 {
+        self.cost
+    }
+
+    /// Number of hops (links) traversed.
+    pub fn hops(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+}
+
+/// All-pairs shortest-path routing state, as computed by every OSPF router
+/// from the flooded link-state database.
+///
+/// Tie-breaking is deterministic: among equal-cost paths the one whose next
+/// hop has the smallest node id is chosen, recursively. This mirrors a fixed
+/// ECMP-free OSPF configuration and makes simulations reproducible.
+///
+/// # Example
+///
+/// ```
+/// use sdm_topology::{Topology, NodeKind};
+/// let mut t = Topology::new();
+/// let a = t.add_node(NodeKind::EdgeRouter, "a");
+/// let b = t.add_node(NodeKind::CoreRouter, "b");
+/// let c = t.add_node(NodeKind::EdgeRouter, "c");
+/// t.add_link(a, b, 1).unwrap();
+/// t.add_link(b, c, 1).unwrap();
+/// let rt = t.routing_tables();
+/// let p = rt.path(a, c).unwrap();
+/// assert_eq!(p.nodes(), &[a, b, c]);
+/// assert_eq!(p.cost(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingTables {
+    n: usize,
+    /// dist[src * n + dst]; u32::MAX means unreachable.
+    dist: Vec<u32>,
+    /// next[src * n + dst]; u32::MAX means none (unreachable or src == dst).
+    next: Vec<u32>,
+}
+
+const UNREACHABLE: u32 = u32::MAX;
+
+impl RoutingTables {
+    pub(crate) fn compute(topo: &Topology) -> Self {
+        Self::compute_excluding(topo, &[])
+    }
+
+    /// Computes tables as if the listed links did not exist — what OSPF
+    /// converges to after those links fail.
+    pub(crate) fn compute_excluding(topo: &Topology, excluded: &[crate::LinkId]) -> Self {
+        let n = topo.node_count();
+        let mut dist = vec![UNREACHABLE; n * n];
+        let mut next = vec![UNREACHABLE; n * n];
+        let excluded: std::collections::HashSet<crate::LinkId> =
+            excluded.iter().copied().collect();
+        for src in 0..n {
+            Self::dijkstra(
+                topo,
+                NodeId(src as u32),
+                &excluded,
+                &mut dist[src * n..(src + 1) * n],
+                &mut next[src * n..(src + 1) * n],
+            );
+        }
+        RoutingTables { n, dist, next }
+    }
+
+    /// Single-source Dijkstra writing distance and first-hop rows.
+    ///
+    /// The first hop is propagated from parent to child; ties are broken by
+    /// preferring the smaller (distance, predecessor id, node id) triple, so
+    /// the outcome is independent of heap pop order.
+    fn dijkstra(
+        topo: &Topology,
+        src: NodeId,
+        excluded: &std::collections::HashSet<crate::LinkId>,
+        dist: &mut [u32],
+        next: &mut [u32],
+    ) {
+        // (distance, node) min-heap; deterministic because on equal distance
+        // the smaller node id pops first.
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        let mut pred: Vec<u32> = vec![UNREACHABLE; dist.len()];
+        dist[src.index()] = 0;
+        heap.push(Reverse((0, src.0)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for &(v, link, c) in topo.adjacency(NodeId(u)) {
+                if excluded.contains(&link) {
+                    continue;
+                }
+                let nd = d.saturating_add(c);
+                let better = nd < dist[v.index()]
+                    || (nd == dist[v.index()] && u < pred[v.index()]);
+                if better {
+                    dist[v.index()] = nd;
+                    pred[v.index()] = u;
+                    next[v.index()] = if u == src.0 { v.0 } else { next[u as usize] };
+                    heap.push(Reverse((nd, v.0)));
+                }
+            }
+        }
+    }
+
+    /// Shortest-path cost from `src` to `dst`, or `None` if unreachable.
+    pub fn dist(&self, src: NodeId, dst: NodeId) -> Option<u32> {
+        if src == dst {
+            return Some(0);
+        }
+        match self.dist[src.index() * self.n + dst.index()] {
+            UNREACHABLE => None,
+            d => Some(d),
+        }
+    }
+
+    /// The neighbor `src` forwards to when routing towards `dst`, or `None`
+    /// if `dst` is unreachable or equals `src`.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        if src == dst {
+            return None;
+        }
+        match self.next[src.index() * self.n + dst.index()] {
+            UNREACHABLE => None,
+            v => Some(NodeId(v)),
+        }
+    }
+
+    /// Reconstructs the full shortest path from `src` to `dst` by chaining
+    /// next-hop lookups, or `None` if unreachable.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Path> {
+        if src == dst {
+            return Some(Path {
+                nodes: vec![src],
+                cost: 0,
+            });
+        }
+        let cost = self.dist(src, dst)?;
+        let mut nodes = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            cur = self.next_hop(cur, dst)?;
+            nodes.push(cur);
+            if nodes.len() > self.n {
+                // Defensive: a routing loop would indicate an internal bug.
+                return None;
+            }
+        }
+        Some(Path { nodes, cost })
+    }
+
+    /// Among `candidates`, returns the `k` closest to `from` (by routing
+    /// distance, ties broken by node id), closest first. Unreachable
+    /// candidates are skipped; fewer than `k` may be returned.
+    ///
+    /// This implements the controller's `M_x^e` construction (§III.C): the
+    /// `k` closest middleboxes offering a function. With `k == 1` it yields
+    /// the hot-potato assignment `m_x^e`.
+    pub fn k_closest(
+        &self,
+        from: NodeId,
+        candidates: impl IntoIterator<Item = NodeId>,
+        k: usize,
+    ) -> Vec<NodeId> {
+        let mut with_dist: Vec<(u32, NodeId)> = candidates
+            .into_iter()
+            .filter_map(|c| self.dist(from, c).map(|d| (d, c)))
+            .collect();
+        with_dist.sort_by_key(|&(d, id)| (d, id));
+        with_dist.truncate(k);
+        with_dist.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Number of nodes these tables cover.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+}
+
+impl Topology {
+    /// Computes all-pairs shortest-path routing tables for this topology,
+    /// the equivalent of letting OSPF converge on every router.
+    pub fn routing_tables(&self) -> RoutingTables {
+        RoutingTables::compute(self)
+    }
+
+    /// Computes routing tables as if the listed links had failed — what
+    /// OSPF converges to after withdrawing their link-state advertisements.
+    pub fn routing_tables_excluding(&self, failed: &[crate::LinkId]) -> RoutingTables {
+        RoutingTables::compute_excluding(self, failed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    fn line(n: usize) -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| t.add_node(NodeKind::CoreRouter, format!("n{i}")))
+            .collect();
+        for w in ids.windows(2) {
+            t.add_link(w[0], w[1], 1).unwrap();
+        }
+        (t, ids)
+    }
+
+    #[test]
+    fn line_distances() {
+        let (t, ids) = line(5);
+        let rt = t.routing_tables();
+        assert_eq!(rt.dist(ids[0], ids[4]), Some(4));
+        assert_eq!(rt.dist(ids[4], ids[0]), Some(4));
+        assert_eq!(rt.dist(ids[2], ids[2]), Some(0));
+        assert_eq!(rt.next_hop(ids[0], ids[4]), Some(ids[1]));
+        assert_eq!(rt.next_hop(ids[2], ids[2]), None);
+    }
+
+    #[test]
+    fn weighted_shortcut_preferred() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::CoreRouter, "a");
+        let b = t.add_node(NodeKind::CoreRouter, "b");
+        let c = t.add_node(NodeKind::CoreRouter, "c");
+        t.add_link(a, b, 10).unwrap();
+        t.add_link(a, c, 1).unwrap();
+        t.add_link(c, b, 1).unwrap();
+        let rt = t.routing_tables();
+        assert_eq!(rt.dist(a, b), Some(2));
+        assert_eq!(rt.next_hop(a, b), Some(c));
+        assert_eq!(rt.path(a, b).unwrap().nodes(), &[a, c, b]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::CoreRouter, "a");
+        let b = t.add_node(NodeKind::CoreRouter, "b");
+        let rt = t.routing_tables();
+        assert_eq!(rt.dist(a, b), None);
+        assert_eq!(rt.next_hop(a, b), None);
+        assert!(rt.path(a, b).is_none());
+    }
+
+    #[test]
+    fn equal_cost_tie_breaks_deterministically() {
+        // a -- b -- d and a -- c -- d, equal cost: next hop must be b (lower id).
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::CoreRouter, "a");
+        let b = t.add_node(NodeKind::CoreRouter, "b");
+        let c = t.add_node(NodeKind::CoreRouter, "c");
+        let d = t.add_node(NodeKind::CoreRouter, "d");
+        t.add_link(a, c, 1).unwrap(); // insert c-link first to stress tie-break
+        t.add_link(a, b, 1).unwrap();
+        t.add_link(c, d, 1).unwrap();
+        t.add_link(b, d, 1).unwrap();
+        let rt = t.routing_tables();
+        assert_eq!(rt.dist(a, d), Some(2));
+        assert_eq!(rt.next_hop(a, d), Some(b));
+    }
+
+    #[test]
+    fn path_reconstruction_matches_cost() {
+        let (t, ids) = line(6);
+        let rt = t.routing_tables();
+        let p = rt.path(ids[0], ids[5]).unwrap();
+        assert_eq!(p.hops(), 5);
+        assert_eq!(p.cost(), 5);
+        assert_eq!(p.nodes().first(), Some(&ids[0]));
+        assert_eq!(p.nodes().last(), Some(&ids[5]));
+    }
+
+    #[test]
+    fn k_closest_orders_and_truncates() {
+        let (t, ids) = line(6);
+        let rt = t.routing_tables();
+        let cands = vec![ids[5], ids[1], ids[3]];
+        assert_eq!(rt.k_closest(ids[0], cands.clone(), 2), vec![ids[1], ids[3]]);
+        assert_eq!(rt.k_closest(ids[0], cands.clone(), 10).len(), 3);
+        assert_eq!(rt.k_closest(ids[0], cands, 0).len(), 0);
+    }
+
+    #[test]
+    fn k_closest_skips_unreachable() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::CoreRouter, "a");
+        let b = t.add_node(NodeKind::CoreRouter, "b");
+        let island = t.add_node(NodeKind::CoreRouter, "island");
+        t.add_link(a, b, 1).unwrap();
+        let rt = t.routing_tables();
+        assert_eq!(rt.k_closest(a, vec![island, b], 5), vec![b]);
+    }
+
+    #[test]
+    fn link_exclusion_reroutes() {
+        // triangle a-b (cost 1), b-c (1), a-c (3): normally a->c via b.
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::CoreRouter, "a");
+        let b = t.add_node(NodeKind::CoreRouter, "b");
+        let c = t.add_node(NodeKind::CoreRouter, "c");
+        let ab = t.add_link(a, b, 1).unwrap();
+        t.add_link(b, c, 1).unwrap();
+        t.add_link(a, c, 3).unwrap();
+        let rt = t.routing_tables();
+        assert_eq!(rt.dist(a, c), Some(2));
+        // fail a-b: a->c must take the direct expensive link
+        let rt2 = t.routing_tables_excluding(&[ab]);
+        assert_eq!(rt2.dist(a, c), Some(3));
+        assert_eq!(rt2.next_hop(a, c), Some(c));
+        assert_eq!(rt2.dist(a, b), Some(4)); // a->c->b
+    }
+
+    #[test]
+    fn link_exclusion_can_partition() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::CoreRouter, "a");
+        let b = t.add_node(NodeKind::CoreRouter, "b");
+        let ab = t.add_link(a, b, 1).unwrap();
+        let rt = t.routing_tables_excluding(&[ab]);
+        assert_eq!(rt.dist(a, b), None);
+        assert!(rt.path(a, b).is_none());
+    }
+
+    /// Cross-check Dijkstra against Floyd–Warshall on a fixed mesh.
+    #[test]
+    fn matches_floyd_warshall() {
+        let mut t = Topology::new();
+        let ids: Vec<_> = (0..8)
+            .map(|i| t.add_node(NodeKind::CoreRouter, format!("n{i}")))
+            .collect();
+        // Deterministic pseudo-random mesh.
+        let mut s: u64 = 42;
+        let mut rand = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as u32
+        };
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                if rand() % 3 != 0 {
+                    t.add_link(ids[i], ids[j], 1 + rand() % 9).unwrap();
+                }
+            }
+        }
+        let rt = t.routing_tables();
+        let n = ids.len();
+        let inf = u64::MAX / 4;
+        let mut fw = vec![inf; n * n];
+        for i in 0..n {
+            fw[i * n + i] = 0;
+        }
+        for li in 0..t.link_count() {
+            let (a, b, c) = t.link(crate::LinkId(li as u32));
+            fw[a.index() * n + b.index()] = fw[a.index() * n + b.index()].min(c as u64);
+            fw[b.index() * n + a.index()] = fw[b.index() * n + a.index()].min(c as u64);
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    let via = fw[i * n + k] + fw[k * n + j];
+                    if via < fw[i * n + j] {
+                        fw[i * n + j] = via;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if fw[i * n + j] >= inf {
+                    None
+                } else {
+                    Some(fw[i * n + j] as u32)
+                };
+                assert_eq!(rt.dist(ids[i], ids[j]), expect, "pair {i}->{j}");
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! A two-tier redundant enterprise topology: pairs of distribution (core)
+//! routers, each edge router dual-homed to one pair, pairs fully meshed
+//! among themselves and to the gateways — the textbook
+//! "collapsed-core/distribution" enterprise design. Not used by the
+//! paper's evaluation, but a realistic third network for users of this
+//! library (and for robustness checks of the enforcement machinery on a
+//! different diameter/redundancy profile).
+
+use crate::graph::{NodeKind, Topology};
+use crate::plan::NetworkPlan;
+
+/// Parameters of the two-tier generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoTierConfig {
+    /// Number of distribution *pairs* (2 pairs = 4 core routers).
+    pub pairs: usize,
+    /// Edge routers per pair, each dual-homed to both routers of its pair.
+    pub edges_per_pair: usize,
+    /// Number of Internet gateways, connected to every distribution router.
+    pub gateways: usize,
+}
+
+impl Default for TwoTierConfig {
+    fn default() -> Self {
+        TwoTierConfig {
+            pairs: 4,
+            edges_per_pair: 6,
+            gateways: 2,
+        }
+    }
+}
+
+/// Generates a two-tier enterprise network.
+///
+/// Deterministic (no randomness: the design is fully regular).
+///
+/// # Panics
+///
+/// Panics if `pairs == 0` or `edges_per_pair == 0`.
+///
+/// # Example
+///
+/// ```
+/// use sdm_topology::two_tier::{two_tier, TwoTierConfig};
+/// let plan = two_tier(TwoTierConfig::default());
+/// assert_eq!(plan.cores().len(), 8);
+/// assert_eq!(plan.edges().len(), 24);
+/// assert!(plan.topology().is_connected());
+/// ```
+pub fn two_tier(config: TwoTierConfig) -> NetworkPlan {
+    assert!(config.pairs > 0, "need at least one distribution pair");
+    assert!(config.edges_per_pair > 0, "need edge routers");
+    let mut t = Topology::new();
+
+    let gateways: Vec<_> = (0..config.gateways)
+        .map(|i| t.add_node(NodeKind::Gateway, format!("gw{i}")))
+        .collect();
+    let mut cores = Vec::with_capacity(config.pairs * 2);
+    for p in 0..config.pairs {
+        let a = t.add_node(NodeKind::CoreRouter, format!("dist{p}a"));
+        let b = t.add_node(NodeKind::CoreRouter, format!("dist{p}b"));
+        t.add_link(a, b, 1).expect("pair link");
+        cores.push(a);
+        cores.push(b);
+    }
+    // full mesh between pairs (one link per router pair across pairs)
+    for i in 0..cores.len() {
+        for j in (i + 1)..cores.len() {
+            // skip intra-pair (already linked) and thin the mesh: connect
+            // routers of different pairs with matching polarity plus the
+            // cross link from each pair's 'a' to the next pair's 'b'
+            let (pi, pj) = (i / 2, j / 2);
+            if pi == pj {
+                continue;
+            }
+            let same_polarity = (i % 2) == (j % 2);
+            let adjacent_cross = (i % 2 == 0) && (j % 2 == 1) && pj == pi + 1;
+            if same_polarity || adjacent_cross {
+                t.add_link(cores[i], cores[j], 1).expect("mesh link");
+            }
+        }
+    }
+    // every distribution router uplinks to every gateway
+    for &c in &cores {
+        for &g in &gateways {
+            t.add_link(c, g, 1).expect("gateway uplink");
+        }
+    }
+    // edge routers dual-homed to their pair
+    let mut edges = Vec::with_capacity(config.pairs * config.edges_per_pair);
+    for p in 0..config.pairs {
+        for e in 0..config.edges_per_pair {
+            let n = t.add_node(NodeKind::EdgeRouter, format!("edge{p}_{e}"));
+            t.add_link(n, cores[2 * p], 1).expect("uplink a");
+            t.add_link(n, cores[2 * p + 1], 1).expect("uplink b");
+            edges.push(n);
+        }
+    }
+    debug_assert!(t.is_connected());
+    NetworkPlan::new(t, gateways, cores, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shape() {
+        let plan = two_tier(TwoTierConfig::default());
+        assert_eq!(plan.gateways().len(), 2);
+        assert_eq!(plan.cores().len(), 8);
+        assert_eq!(plan.edges().len(), 24);
+        assert!(plan.topology().is_connected());
+        // every edge is dual-homed
+        for &e in plan.edges() {
+            assert_eq!(plan.topology().degree(e), 2);
+        }
+    }
+
+    #[test]
+    fn pair_redundancy_survives_one_distribution_router_link() {
+        let plan = two_tier(TwoTierConfig::default());
+        let t = plan.topology();
+        // failing one uplink of an edge still leaves it connected via the
+        // pair's other router
+        let e = plan.edges()[0];
+        let (first_uplink, _) = t.neighbors(e).next().unwrap();
+        let link = (0..t.link_count())
+            .map(crate::LinkId::from_index)
+            .find(|&l| {
+                let (a, b, _) = t.link(l);
+                (a == e && b == first_uplink) || (b == e && a == first_uplink)
+            })
+            .unwrap();
+        let rt = t.routing_tables_excluding(&[link]);
+        for &other in plan.edges().iter().skip(1) {
+            assert!(rt.dist(e, other).is_some(), "reachable after uplink loss");
+        }
+    }
+
+    #[test]
+    fn diameter_is_small() {
+        let plan = two_tier(TwoTierConfig {
+            pairs: 6,
+            edges_per_pair: 4,
+            gateways: 2,
+        });
+        let rt = plan.topology().routing_tables();
+        for &a in plan.edges() {
+            for &b in plan.edges() {
+                assert!(rt.dist(a, b).unwrap() <= 4, "two-tier diameter bound");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = two_tier(TwoTierConfig::default());
+        let b = two_tier(TwoTierConfig::default());
+        assert_eq!(a.topology().link_count(), b.topology().link_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "distribution pair")]
+    fn rejects_zero_pairs() {
+        let _ = two_tier(TwoTierConfig {
+            pairs: 0,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,88 @@
+//! Inspecting what the controller computes and distributes (§III.B):
+//! the hot-potato targets `m_x^e`, candidate sets `M_x^e`, per-node policy
+//! tables `P_x`, and what happens to them when a middlebox fails.
+//!
+//! Run with: `cargo run --release --example controller_inspection`
+
+use sdm::core::{Controller, Deployment, KConfig, SteerPoint};
+use sdm::netsim::{AddressPlan, StubId};
+use sdm::policy::NetworkFunction;
+use sdm::topology::campus::campus;
+use sdm::workload::{evaluation_policies, PolicyClassCounts};
+
+fn main() {
+    let plan = campus(3);
+    let deployment = Deployment::evaluation_default(&plan, 4);
+    let addrs = AddressPlan::new(&plan);
+    let generated = evaluation_policies(&addrs, PolicyClassCounts::default(), 5);
+    let mut controller = Controller::new(
+        plan,
+        deployment.clone(),
+        generated.set.clone(),
+        KConfig::paper_default(),
+    );
+
+    println!("deployment:\n{}", controller.deployment());
+
+    // m_x^e and M_x^e for each proxy, per function (the controller pushes
+    // exactly this to each proxy).
+    println!("candidate sets M_x^e (closest first; index 0 is m_x^e):");
+    for stub in controller.addr_plan().stubs().take(4) {
+        println!("  proxy of {stub} (subnet {}):", controller.addr_plan().subnet(stub));
+        for f in NetworkFunction::EVALUATION_SET {
+            let cands = controller
+                .assignments()
+                .candidates(SteerPoint::Proxy(stub), f);
+            let names: Vec<String> = cands.iter().map(|m| m.to_string()).collect();
+            println!("    {:<4} -> [{}]", f.abbrev(), names.join(", "));
+        }
+    }
+
+    // The policy tables the controller installs.
+    let stub0 = StubId(0);
+    let p0 = controller.proxy_policies(stub0);
+    println!("\nP_x at the proxy of {stub0}: {} of {} policies", p0.len(), generated.set.len());
+    let some_box = sdm::core::MiddleboxId(0);
+    let pm = controller.middlebox_policies(some_box);
+    println!(
+        "P_x at middlebox m0 [{}]: {} policies (those whose chains use its function)",
+        controller
+            .deployment()
+            .spec(some_box)
+            .functions
+            .iter()
+            .map(|f| f.abbrev())
+            .collect::<Vec<_>>()
+            .join("+"),
+        pm.len()
+    );
+
+    // §V scalability: what the controller actually has to distribute.
+    let fp = controller.config_footprint(None);
+    println!(
+        "\nconfig footprint: {} managed devices (routers: 0), {} policy entries, \
+{} candidate entries, ~{} bytes total",
+        fp.managed_devices,
+        fp.proxy_policy_entries + fp.mbox_policy_entries,
+        fp.candidate_entries,
+        fp.total_bytes()
+    );
+
+    // Failure reaction: candidate sets recompute without the failed box.
+    let victim = controller
+        .assignments()
+        .closest(SteerPoint::Proxy(stub0), NetworkFunction::Firewall)
+        .expect("a firewall exists");
+    println!("\nfailing {victim} (the FW closest to {stub0})...");
+    controller.fail_middlebox(victim);
+    let after = controller
+        .assignments()
+        .candidates(SteerPoint::Proxy(stub0), NetworkFunction::Firewall);
+    println!(
+        "new M_x^FW for {stub0}: [{}] (victim gone, set refilled)",
+        after.iter().map(|m| m.to_string()).collect::<Vec<_>>().join(", ")
+    );
+    assert!(!after.contains(&victim));
+    controller.restore_middlebox(victim);
+    println!("restored {victim}.");
+}

@@ -1,0 +1,92 @@
+//! A walkthrough of the paper's §III.F example (Figure 3): web traffic
+//! from stub network A is steered WP → FW → IDS. The first packet travels
+//! IP-over-IP and installs label-table entries at each middlebox; the last
+//! middlebox sends a control packet back to the proxy; every later packet
+//! is label-switched — destination rewriting only, no encapsulation, no
+//! fragmentation risk.
+//!
+//! Run with: `cargo run --release --example label_switching_walkthrough`
+
+use sdm::core::{Controller, Deployment, EnforcementOptions, KConfig, MiddleboxId,
+                MiddleboxSpec, SteeringEncoding, Strategy};
+use sdm::netsim::{FiveTuple, Protocol, SimTime, StubId};
+use sdm::policy::{ActionList, NetworkFunction, Policy, PolicySet, TrafficDescriptor};
+use sdm::topology::campus::campus;
+
+fn main() {
+    let plan = campus(2);
+    use NetworkFunction::*;
+
+    // One middlebox per function, as in Figure 3.
+    let mut deployment = Deployment::new();
+    let wp = deployment.add(MiddleboxSpec::new(WebProxy, plan.cores()[2], 1.0));
+    let fw = deployment.add(MiddleboxSpec::new(Firewall, plan.cores()[6], 1.0));
+    let ids = deployment.add(MiddleboxSpec::new(Ids, plan.cores()[10], 1.0));
+
+    // The Figure 3 policy: stub A's web traffic through WP -> FW -> IDS.
+    let mut policies = PolicySet::new();
+    policies.push(Policy::new(
+        TrafficDescriptor::new().dst_port(80),
+        ActionList::chain([WebProxy, Firewall, Ids]),
+    ));
+
+    let controller = Controller::new(plan, deployment, policies, KConfig::uniform(1));
+    let mut enf = controller.enforcement(
+        Strategy::HotPotato,
+        None,
+        EnforcementOptions {
+            encoding: SteeringEncoding::LabelSwitching,
+            ..Default::default()
+        },
+    );
+
+    // A flow from stub A (stub 0) to a web server in stub 8.
+    let flow = FiveTuple {
+        src: controller.addr_plan().host(StubId(0), 1),
+        dst: controller.addr_plan().host(StubId(8), 1),
+        src_port: 50_000,
+        dst_port: 80,
+        proto: Protocol::Tcp,
+    };
+    println!("flow f: {flow}");
+    println!("action list a: WP -> FW -> IDS\n");
+
+    // Send the packets spaced out so the control packet round trip
+    // completes after the first packet.
+    enf.inject_flow_packets(flow, 20, 1000, SimTime(0), 200);
+    enf.run();
+
+    // Inspect the protocol state the walk left behind.
+    let proxy = enf.proxy_state(StubId(0));
+    {
+        let p = proxy.lock();
+        println!("policy proxy y (stub A):");
+        println!("  flow table: {}", p.flows);
+        println!("  control packets received: {}", p.counters.control_received);
+        println!("  packets label-switched:   {}", p.counters.label_switched);
+        println!("  packets tunneled:         {}",
+                 p.counters.steered - p.counters.label_switched);
+    }
+    for (name, id) in [("web proxy", wp), ("FW1", fw), ("IDS", ids)] {
+        let st = enf.mbox_state(id);
+        let s = st.lock();
+        println!(
+            "{name}: label-table entries = {}, tunneled in = {}, label-switched in = {}",
+            s.labels.len(),
+            s.counters.tunneled_in,
+            s.counters.label_switched_in
+        );
+    }
+    let stats = enf.sim().stats();
+    println!(
+        "\ndelivered {} / 20 packets; encapsulated hops {}, label-switched hops ride free",
+        stats.delivered, stats.encapsulated_hops
+    );
+    assert_eq!(stats.delivered, 20);
+
+    // Show per-middlebox visit equality: every packet visited all three.
+    let loads = enf.middlebox_loads();
+    assert!(loads.iter().all(|&l| l == 20), "loads = {loads:?}");
+    println!("every packet traversed WP -> FW -> IDS exactly once.");
+    let _ = MiddleboxId(0);
+}

@@ -1,0 +1,102 @@
+//! Quickstart: build the paper's campus network, install the six example
+//! policies of **Table I**, and watch a few flows get steered through
+//! their middlebox chains.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sdm::core::{Controller, Deployment, EnforcementOptions, KConfig, MiddleboxSpec, Strategy};
+use sdm::netsim::{FiveTuple, Prefix, Protocol, StubId};
+use sdm::policy::{ActionList, NetworkFunction, Policy, PolicySet, TrafficDescriptor};
+use sdm::topology::campus::campus;
+
+fn main() {
+    // 1. The traditional, non-SDN campus network: OSPF shortest paths,
+    //    policy-oblivious routers.
+    let plan = campus(1);
+    println!("topology: {} nodes, {} links, {} stub networks",
+        plan.topology().node_count(),
+        plan.topology().link_count(),
+        plan.edges().len());
+
+    // 2. Software-defined middleboxes on core routers.
+    let mut deployment = Deployment::new();
+    use NetworkFunction::*;
+    deployment.add(MiddleboxSpec::new(Firewall, plan.cores()[0], 1.0));
+    deployment.add(MiddleboxSpec::new(Firewall, plan.cores()[8], 1.0));
+    deployment.add(MiddleboxSpec::new(Ids, plan.cores()[4], 1.0));
+    deployment.add(MiddleboxSpec::new(WebProxy, plan.cores()[12], 1.0));
+
+    // 3. The paper's Table I, with "subnet a" = the whole 10.0.0.0/8
+    //    enterprise space.
+    let subnet_a: Prefix = "10.0.0.0/8".parse().unwrap();
+    let mut policies = PolicySet::new();
+    policies.push(Policy::permit(
+        TrafficDescriptor::new().src_prefix(subnet_a).dst_prefix(subnet_a).dst_port(80),
+    ));
+    policies.push(Policy::permit(
+        TrafficDescriptor::new().src_prefix(subnet_a).dst_prefix(subnet_a).src_port(80),
+    ));
+    policies.push(Policy::new(
+        TrafficDescriptor::new().dst_prefix(subnet_a).dst_port(80),
+        ActionList::chain([Firewall, Ids]),
+    ));
+    policies.push(Policy::new(
+        TrafficDescriptor::new().src_prefix(subnet_a).src_port(80),
+        ActionList::chain([Ids, Firewall]),
+    ));
+    policies.push(Policy::new(
+        TrafficDescriptor::new().src_prefix(subnet_a).dst_port(8080),
+        ActionList::chain([Firewall, Ids, WebProxy]),
+    ));
+    policies.push(Policy::new(
+        TrafficDescriptor::new().dst_prefix(subnet_a).src_port(8080),
+        ActionList::chain([WebProxy, Ids, Firewall]),
+    ));
+    for (id, p) in policies.iter() {
+        println!("  {id}: {p}");
+    }
+
+    // 4. The controller distributes assignments and policy tables; build
+    //    an enforcement simulation with hot-potato steering.
+    let controller = Controller::new(plan, deployment.clone(), policies, KConfig::paper_default());
+    let mut enf = controller.enforcement(
+        Strategy::HotPotato,
+        None,
+        EnforcementOptions::default(),
+    );
+
+    // 5. Internal web traffic: matches the permit, touches no middlebox.
+    let internal = FiveTuple {
+        src: controller.addr_plan().host(StubId(0), 1),
+        dst: controller.addr_plan().host(StubId(4), 1),
+        src_port: 40_000,
+        dst_port: 80,
+        proto: Protocol::Tcp,
+    };
+    enf.inject_flow(internal, 100, 512);
+
+    // 6. Outbound traffic on port 8080: FW -> IDS -> WP.
+    let outbound = FiveTuple {
+        src: controller.addr_plan().host(StubId(2), 7),
+        dst: controller.addr_plan().host(StubId(9), 7),
+        src_port: 41_000,
+        dst_port: 8080,
+        proto: Protocol::Tcp,
+    };
+    enf.inject_flow(outbound, 200, 512);
+
+    enf.run();
+    let stats = enf.sim().stats();
+    println!("\ndelivered {} packets ({} hops traversed)", stats.delivered, stats.link_hops);
+    println!("middlebox loads (packets):");
+    let loads = enf.middlebox_loads();
+    for (id, spec) in deployment.iter() {
+        println!(
+            "  {id} [{}] -> {}",
+            spec.functions.iter().map(|f| f.abbrev()).collect::<Vec<_>>().join("+"),
+            loads[id.index()]
+        );
+    }
+    assert_eq!(stats.delivered, 300);
+    println!("\nthe permit flow bypassed all middleboxes; the 8080 flow visited FW, IDS, WP.");
+}

@@ -1,0 +1,84 @@
+//! Load-balanced enforcement at scale: the Waxman random topology with
+//! 400 stub networks and 25 core routers (the paper's second evaluation
+//! network), comparing hot-potato against LP-driven load balancing.
+//!
+//! Run with: `cargo run --release --example waxman_loadbalance`
+
+use sdm::core::{Controller, Deployment, EnforcementOptions, KConfig, LbOptions, Strategy};
+use sdm::netsim::AddressPlan;
+use sdm::policy::NetworkFunction;
+use sdm::topology::waxman::waxman;
+use sdm::workload::{evaluation_policies, generate_flows_with_total, PolicyClassCounts,
+                    WorkloadConfig};
+
+fn main() {
+    let seed = 5;
+    let plan = waxman(seed);
+    println!(
+        "Waxman topology: {} cores, {} edge routers, {} links",
+        plan.cores().len(),
+        plan.edges().len(),
+        plan.topology().link_count()
+    );
+    let deployment = Deployment::evaluation_default(&plan, seed + 1);
+    let addrs = AddressPlan::new(&plan);
+    let generated = evaluation_policies(&addrs, PolicyClassCounts::default(), seed + 2);
+    let controller = Controller::new(
+        plan,
+        deployment.clone(),
+        generated.set.clone(),
+        KConfig::paper_default(),
+    );
+
+    let flows = generate_flows_with_total(
+        &generated,
+        controller.addr_plan(),
+        &WorkloadConfig { seed, ..Default::default() },
+        500_000,
+    );
+    println!("{} flows, 500k packets", flows.len());
+
+    let mut hp = controller.enforcement(Strategy::HotPotato, None, EnforcementOptions::default());
+    for f in &flows {
+        hp.inject_flow(f.five_tuple, f.packets, 512);
+    }
+    hp.run();
+
+    let (weights, report) = controller
+        .solve_load_balanced(&hp.measurements(), LbOptions::default())
+        .expect("LP must solve");
+    println!(
+        "LP: lambda={:.0}, {} variables, {} constraints",
+        report.lambda, report.variables, report.constraints
+    );
+
+    let mut lb = controller.enforcement(
+        Strategy::LoadBalanced,
+        Some(weights),
+        EnforcementOptions::default(),
+    );
+    for f in &flows {
+        lb.inject_flow(f.five_tuple, f.packets, 512);
+    }
+    lb.run();
+
+    println!("\nmax/min load per type:");
+    let hp_r = hp.load_report(&deployment);
+    let lb_r = lb.load_report(&deployment);
+    for f in [
+        NetworkFunction::Firewall,
+        NetworkFunction::Ids,
+        NetworkFunction::WebProxy,
+        NetworkFunction::TrafficMonitor,
+    ] {
+        let (h, l) = (hp_r.row(f).unwrap(), lb_r.row(f).unwrap());
+        println!(
+            "  {:<4} HP {:>8}/{:<8}  LB {:>8}/{:<8}",
+            f.abbrev(),
+            h.max,
+            h.min,
+            l.max,
+            l.min
+        );
+    }
+}

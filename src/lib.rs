@@ -1,0 +1,28 @@
+//! Umbrella crate for the SDM policy-enforcement reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and downstream
+//! users can depend on a single crate:
+//!
+//! * [`topology`] — network graph, OSPF-style routing, campus/Waxman generators.
+//! * [`netsim`] — discrete-event packet simulator.
+//! * [`policy`] — traffic descriptors, classifiers, flow caches, label tables.
+//! * [`lp`] — linear-programming solver used for load-balanced enforcement.
+//! * [`core`] — controller, policy proxies, middleboxes and steering strategies.
+//! * [`workload`] — workload generation per the paper's evaluation section.
+//!
+//! # Example
+//!
+//! ```
+//! use sdm::topology::campus::campus;
+//! let plan = campus(1);
+//! assert!(plan.topology().is_connected());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use sdm_core as core;
+pub use sdm_lp as lp;
+pub use sdm_netsim as netsim;
+pub use sdm_policy as policy;
+pub use sdm_topology as topology;
+pub use sdm_workload as workload;

@@ -1,0 +1,93 @@
+//! Smoke tests of the `sdm` CLI binary: argument handling, policy files,
+//! flow-trace save/replay.
+
+use std::process::Command;
+
+fn sdm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sdm"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = sdm().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("--topology"));
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    for args in [
+        vec!["--topology", "torus"],
+        vec!["--strategy", "magic"],
+        vec!["--encoding", "pigeon"],
+        vec!["--k", "0"],
+        vec!["--policies", "/definitely/not/a/file"],
+    ] {
+        let out = sdm().args(&args).output().expect("binary runs");
+        assert!(!out.status.success(), "{args:?} should fail");
+        assert!(!out.stderr.is_empty(), "{args:?} should explain itself");
+    }
+}
+
+#[test]
+fn small_hp_run_reports_delivery() {
+    let out = sdm()
+        .args(["--strategy", "hp", "--packets", "20000"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("per-type loads"), "{text}");
+    assert!(text.contains("delivered"), "{text}");
+}
+
+#[test]
+fn policy_file_drives_enforcement_and_warns_on_shadowing() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("sdm_cli_test_policies.txt");
+    std::fs::write(
+        &path,
+        "dst=* dport=80 => FW, IDS\nsrc=10.0.0.0/8 dport=80 => IDS\n",
+    )
+    .unwrap();
+    let out = sdm()
+        .args(["--strategy", "hp", "--packets", "5000"])
+        .arg("--policies")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("shadowed"), "shadow warning expected: {err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 policies"), "{text}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn flow_trace_round_trip_via_cli() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("sdm_cli_test_trace.txt");
+    let out = sdm()
+        .args(["--strategy", "hp", "--packets", "10000"])
+        .arg("--save-flows")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let saved = String::from_utf8_lossy(&out.stdout);
+    assert!(saved.contains("saved"), "{saved}");
+
+    let out = sdm()
+        .args(["--strategy", "hp"])
+        .arg("--load-flows")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let replayed = String::from_utf8_lossy(&out.stdout);
+    assert!(replayed.contains("replaying"), "{replayed}");
+    let _ = std::fs::remove_file(&path);
+}

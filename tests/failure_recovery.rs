@@ -1,0 +1,160 @@
+//! Dependability under middlebox failure: a crashed box blackholes
+//! traffic (detected, never silently bypassed), and the controller's
+//! recomputation routes fresh enforcement around it.
+
+use sdm::core::{
+    Controller, Deployment, EnforcementOptions, KConfig, MiddleboxSpec, SteerPoint, Strategy,
+};
+use sdm::netsim::{FiveTuple, Protocol, StubId};
+use sdm::policy::{ActionList, NetworkFunction, Policy, PolicySet, TrafficDescriptor};
+use sdm::topology::campus::campus;
+
+use NetworkFunction::*;
+
+fn world() -> Controller {
+    let plan = campus(4);
+    let mut dep = Deployment::new();
+    dep.add(MiddleboxSpec::new(Firewall, plan.cores()[0], 1.0)); // m0
+    dep.add(MiddleboxSpec::new(Firewall, plan.cores()[8], 1.0)); // m1
+    dep.add(MiddleboxSpec::new(Ids, plan.cores()[4], 1.0)); // m2
+    let mut pol = PolicySet::new();
+    pol.push(Policy::new(
+        TrafficDescriptor::new().dst_port(80),
+        ActionList::chain([Firewall, Ids]),
+    ));
+    Controller::new(plan, dep, pol, KConfig::uniform(2))
+}
+
+fn flows(c: &Controller, n: u16) -> Vec<FiveTuple> {
+    (0..n)
+        .map(|i| FiveTuple {
+            src: c.addr_plan().host(StubId((i % 10) as u32), 0),
+            dst: c.addr_plan().host(StubId(((i + 1) % 10) as u32), 0),
+            src_port: 10_000 + i,
+            dst_port: 80,
+            proto: Protocol::Tcp,
+        })
+        .collect()
+}
+
+/// A crashed middlebox drops traffic — enforcement fails *visibly* (the
+/// dependable behaviour: matching traffic never bypasses its chain).
+#[test]
+fn crash_blackholes_its_share_of_traffic() {
+    let c = world();
+    let mut enf = c.enforcement(Strategy::HotPotato, None, EnforcementOptions::default());
+    let fts = flows(&c, 100);
+    // crash the FW that hot-potato routes stub 0's traffic to
+    let victim = c
+        .assignments()
+        .closest(SteerPoint::Proxy(StubId(0)), Firewall)
+        .unwrap();
+    enf.fail_middlebox(victim);
+    for &ft in &fts {
+        enf.inject_flow(ft, 1, 100);
+    }
+    enf.run();
+    let dropped = enf.mbox_state(victim).lock().counters.dropped_failed;
+    assert!(dropped > 0, "victim must have received (and dropped) traffic");
+    assert_eq!(
+        enf.sim().stats().delivered + dropped,
+        100,
+        "every packet is either delivered or visibly dropped"
+    );
+    assert!(enf.sim().stats().delivered < 100);
+}
+
+/// After the controller recomputes, fresh enforcement avoids the failed
+/// box entirely and delivers everything through the survivor.
+#[test]
+fn controller_recovery_restores_full_delivery() {
+    let mut c = world();
+    let victim = c
+        .assignments()
+        .closest(SteerPoint::Proxy(StubId(0)), Firewall)
+        .unwrap();
+    c.fail_middlebox(victim);
+    // candidate sets no longer contain the victim, for any steer point
+    for s in 0..10u32 {
+        let cands = c.assignments().candidates(SteerPoint::Proxy(StubId(s)), Firewall);
+        assert!(!cands.contains(&victim), "stub {s} still routed to victim");
+        assert!(!cands.is_empty(), "stub {s} lost all FW candidates");
+    }
+    let mut enf = c.enforcement(Strategy::HotPotato, None, EnforcementOptions::default());
+    enf.fail_middlebox(victim); // the box is still crashed in the data plane
+    for &ft in &flows(&c, 100) {
+        enf.inject_flow(ft, 1, 100);
+    }
+    enf.run();
+    assert_eq!(enf.sim().stats().delivered, 100, "recovery must be total");
+    assert_eq!(enf.middlebox_loads()[victim.index()], 0);
+}
+
+/// The load-balancing LP also routes around failed boxes, and restoring
+/// the box brings it back into the optimum.
+#[test]
+fn lp_routes_around_failed_box_and_back() {
+    let mut c = world();
+    let fts = flows(&c, 200);
+    let mut measure = c.enforcement(Strategy::HotPotato, None, EnforcementOptions::default());
+    for &ft in &fts {
+        measure.inject_flow(ft, 10, 100);
+    }
+    measure.run();
+    let tm = measure.measurements();
+
+    use sdm::core::MiddleboxId;
+    let victim = MiddleboxId(0);
+    c.fail_middlebox(victim);
+    let (weights, report) = c
+        .solve_load_balanced(&tm, sdm::core::LbOptions::default())
+        .expect("one FW remains");
+    // all FW traffic must fit on the surviving FW: lambda = total volume
+    assert!((report.lambda - 2000.0).abs() < 1e-6, "{}", report.lambda);
+    let mut enf = c.enforcement(Strategy::LoadBalanced, Some(weights), EnforcementOptions::default());
+    enf.fail_middlebox(victim);
+    for &ft in &fts {
+        enf.inject_flow(ft, 10, 100);
+    }
+    enf.run();
+    assert_eq!(enf.sim().stats().delivered, 2000);
+    assert_eq!(enf.middlebox_loads()[0], 0, "victim untouched");
+    assert_eq!(enf.middlebox_loads()[1], 2000, "survivor carries all");
+
+    // restore: λ stays pinned by the single IDS (2000), but the FW load
+    // splits evenly again thanks to the per-type refinement pass
+    c.restore_middlebox(victim);
+    let (weights, report) = c
+        .solve_load_balanced(&tm, sdm::core::LbOptions::default())
+        .unwrap();
+    assert!((report.lambda - 2000.0).abs() < 1e-6);
+    let mut enf = c.enforcement(Strategy::LoadBalanced, Some(weights), EnforcementOptions::default());
+    for &ft in &fts {
+        enf.inject_flow(ft, 10, 100);
+    }
+    enf.run();
+    let loads = enf.middlebox_loads();
+    assert!(loads[0] > 500 && loads[1] > 500, "FW split restored: {loads:?}");
+    assert_eq!(loads[0] + loads[1], 2000);
+}
+
+/// Failing every box of a function makes policies unenforceable: the LP
+/// reports the missing function instead of silently skipping it.
+#[test]
+fn total_function_failure_is_reported() {
+    let mut c = world();
+    use sdm::core::MiddleboxId;
+    c.fail_middlebox(MiddleboxId(2)); // the only IDS
+    let mut measure = c.enforcement(Strategy::HotPotato, None, EnforcementOptions::default());
+    for &ft in &flows(&c, 10) {
+        measure.inject_flow(ft, 1, 100);
+    }
+    measure.run();
+    let err = c
+        .solve_load_balanced(&measure.measurements(), sdm::core::LbOptions::default())
+        .unwrap_err();
+    assert!(
+        matches!(err, sdm::core::LbError::MissingFunction(Ids, _)),
+        "{err}"
+    );
+}

@@ -1,0 +1,125 @@
+//! Integration tests of the full measurement → LP → load-balanced
+//! enforcement pipeline at the paper's evaluation deployment.
+
+use sdm::core::{LbOptions, Strategy};
+use sdm::policy::NetworkFunction;
+use sdm::workload::PolicyClassCounts;
+use sdm_bench::{ExperimentConfig, World};
+
+use NetworkFunction::*;
+
+/// Per-type *total* load is a strategy-independent invariant: every packet
+/// matching a policy whose chain contains `e` is processed by exactly one
+/// box offering `e` (single-function deployment), so the totals under HP,
+/// Rand and LB must agree.
+#[test]
+fn per_type_totals_are_strategy_invariant() {
+    let world = World::build(&ExperimentConfig::campus(11));
+    let flows = world.flows(60_000, 4);
+    let cmp = world.compare_strategies(&flows);
+    for f in [Firewall, Ids, WebProxy, TrafficMonitor] {
+        let hp = cmp.hp.report.row(f).map_or(0, |r| r.total);
+        let rd = cmp.rand.report.row(f).map_or(0, |r| r.total);
+        let lb = cmp.lb.report.row(f).map_or(0, |r| r.total);
+        assert_eq!(hp, rd, "{f} totals HP vs Rand");
+        assert_eq!(hp, lb, "{f} totals HP vs LB");
+    }
+}
+
+/// The headline ordering of Figures 4–5: LB's worst box beats HP's worst
+/// box on every middlebox type (modest hash noise allowed).
+#[test]
+fn lb_beats_hp_on_every_type() {
+    let world = World::build(&ExperimentConfig::campus(3));
+    let flows = world.flows(150_000, 8);
+    let cmp = world.compare_strategies(&flows);
+    for f in [Firewall, Ids, WebProxy, TrafficMonitor] {
+        let hp = cmp.hp.report.row(f).map_or(0, |r| r.max) as f64;
+        let lb = cmp.lb.report.row(f).map_or(0, |r| r.max) as f64;
+        assert!(
+            lb <= hp * 1.05,
+            "{f}: LB max {lb} should be below HP max {hp}"
+        );
+    }
+}
+
+/// The LP's λ matches the LB run's worst observed load reasonably well —
+/// the hash-based splitter realizes the LP solution up to flow granularity.
+#[test]
+fn realized_max_load_tracks_lambda() {
+    let world = World::build(&ExperimentConfig::campus(3));
+    let flows = world.flows(200_000, 9);
+    let cmp = world.compare_strategies(&flows);
+    let lambda = cmp.lb_report.lambda;
+    let realized = cmp.lb.report.overall_max() as f64;
+    assert!(
+        realized <= lambda * 1.25,
+        "realized {realized} too far above lambda {lambda}"
+    );
+    assert!(
+        realized >= lambda * 0.75,
+        "realized {realized} suspiciously below lambda {lambda}"
+    );
+}
+
+/// Measurements collected during an LB run match the originally measured
+/// matrix (steering must not change what the proxies see).
+#[test]
+fn measurements_are_steering_invariant() {
+    let world = World::build(&ExperimentConfig::campus(7));
+    let flows = world.flows(40_000, 2);
+    let hp = world.run_strategy(Strategy::HotPotato, None, &flows);
+    let rand = world.run_strategy(Strategy::Random { salt: 1 }, None, &flows);
+    for p in hp.measurements.policies() {
+        assert_eq!(
+            hp.measurements.total(p),
+            rand.measurements.total(p),
+            "policy {p} totals differ"
+        );
+    }
+}
+
+/// The λ ≤ 1 dependability check: tiny capacities make the LP infeasible,
+/// and the error says so.
+#[test]
+fn lambda_cap_flags_overload() {
+    let world = World::build(&ExperimentConfig::campus(3));
+    let flows = world.flows(50_000, 3);
+    let hp = world.run_strategy(Strategy::HotPotato, None, &flows);
+    let err = world
+        .controller
+        .solve_load_balanced(&hp.measurements, LbOptions { cap_lambda: true })
+        .unwrap_err();
+    assert!(matches!(err, sdm::core::LbError::Lp(_)), "{err}");
+}
+
+/// Waxman-scale pipeline stays correct (smaller volume for test speed).
+#[test]
+fn waxman_pipeline_end_to_end() {
+    let mut cfg = ExperimentConfig::waxman(5);
+    cfg.policy_counts = PolicyClassCounts {
+        many_to_one: 4,
+        one_to_many: 4,
+        one_to_one: 4,
+        companions: false,
+    };
+    let world = World::build(&cfg);
+    let flows = world.flows(80_000, 6);
+    let total: u64 = flows.iter().map(|f| f.packets).sum();
+    let cmp = world.compare_strategies(&flows);
+    assert_eq!(cmp.hp.delivered, total);
+    assert_eq!(cmp.lb.delivered, total);
+    assert!(cmp.lb.report.overall_max() <= cmp.hp.report.overall_max());
+}
+
+/// k = 1 candidate sets reduce the LB strategy to hot-potato exactly.
+#[test]
+fn k_equals_one_reduces_to_hot_potato() {
+    let mut cfg = ExperimentConfig::campus(3);
+    cfg.k = sdm::core::KConfig::uniform(1);
+    let world = World::build(&cfg);
+    let flows = world.flows(30_000, 4);
+    let cmp = world.compare_strategies(&flows);
+    assert_eq!(cmp.hp.loads, cmp.lb.loads, "k=1: LB must equal HP");
+    assert_eq!(cmp.hp.loads, cmp.rand.loads, "k=1: Rand must equal HP");
+}

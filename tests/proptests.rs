@@ -1,0 +1,204 @@
+//! Workspace-level property tests: invariants of the whole enforcement
+//! system on randomized small worlds.
+
+use proptest::prelude::*;
+
+use sdm::core::{
+    Controller, Deployment, EnforcementOptions, KConfig, LbOptions, MiddleboxSpec,
+    Strategy as Steering,
+};
+use sdm::netsim::{FiveTuple, Protocol, StubId};
+use sdm::policy::{ActionList, NetworkFunction, Policy, PolicySet, TrafficDescriptor};
+use sdm::topology::campus::campus;
+
+use NetworkFunction::*;
+
+#[derive(Debug, Clone)]
+struct SmallWorld {
+    seed: u64,
+    /// count per function (FW, IDS, WP, TM), each 1..=3
+    mbox_counts: [usize; 4],
+    k: usize,
+    /// flows: (src stub, dst stub, sport, class 0..3, packets)
+    flows: Vec<(u32, u32, u16, u8, u64)>,
+}
+
+fn arb_world() -> impl Strategy<Value = SmallWorld> {
+    (
+        any::<u64>(),
+        [1usize..=3, 1usize..=3, 1usize..=3, 1usize..=3],
+        1usize..=4,
+        proptest::collection::vec(
+            (0u32..10, 0u32..10, 1000u16..60000, 0u8..3, 1u64..500),
+            1..40,
+        ),
+    )
+        .prop_map(|(seed, mbox_counts, k, flows)| SmallWorld {
+            seed,
+            mbox_counts,
+            k,
+            flows,
+        })
+}
+
+/// The three policy classes of §IV.A on fixed ports.
+fn world_policies() -> PolicySet {
+    let mut set = PolicySet::new();
+    set.push(Policy::new(
+        TrafficDescriptor::new().dst_port(2000),
+        ActionList::chain([Firewall, Ids]),
+    ));
+    set.push(Policy::new(
+        TrafficDescriptor::new().dst_port(80),
+        ActionList::chain([Firewall, Ids, WebProxy]),
+    ));
+    set.push(Policy::new(
+        TrafficDescriptor::new().dst_port(3000),
+        ActionList::chain([Ids, TrafficMonitor]),
+    ));
+    set
+}
+
+fn build_controller(w: &SmallWorld) -> Controller {
+    let plan = campus(w.seed);
+    let mut dep = Deployment::new();
+    let fns = [Firewall, Ids, WebProxy, TrafficMonitor];
+    let mut s = w.seed;
+    for (fi, &f) in fns.iter().enumerate() {
+        for _ in 0..w.mbox_counts[fi] {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let core = plan.cores()[(s >> 33) as usize % plan.cores().len()];
+            dep.add(MiddleboxSpec::new(f, core, 1.0));
+        }
+    }
+    Controller::new(plan, dep, world_policies(), KConfig::uniform(w.k))
+}
+
+fn flows_of(w: &SmallWorld, c: &Controller) -> Vec<(FiveTuple, u64)> {
+    let ports = [2000u16, 80, 3000];
+    w.flows
+        .iter()
+        .map(|&(src, dst, sport, class, pkts)| {
+            let dst = if dst == src { (dst + 1) % 10 } else { dst };
+            (
+                FiveTuple {
+                    src: c.addr_plan().host(StubId(src), sport as u32 % 100),
+                    dst: c.addr_plan().host(StubId(dst), 3),
+                    src_port: sport,
+                    dst_port: ports[class as usize],
+                    proto: Protocol::Tcp,
+                },
+                pkts,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: every injected packet is delivered (all functions are
+    /// deployed), and per-function totals equal the volume of traffic
+    /// whose chain contains that function — under every strategy.
+    #[test]
+    fn packets_conserved_and_functions_applied(w in arb_world()) {
+        let c = build_controller(&w);
+        let flows = flows_of(&w, &c);
+        let total: u64 = flows.iter().map(|&(_, p)| p).sum();
+        // expected volume per function from the class chains
+        let chain_contains = |port: u16, f: NetworkFunction| -> bool {
+            match port {
+                2000 => matches!(f, Firewall | Ids),
+                80 => matches!(f, Firewall | Ids | WebProxy),
+                3000 => matches!(f, Ids | TrafficMonitor),
+                _ => false,
+            }
+        };
+        for strategy in [
+            Steering::HotPotato,
+            Steering::Random { salt: w.seed },
+            Steering::LoadBalanced, // no weights -> hot-potato fallback
+        ] {
+            let mut enf = c.enforcement(strategy, None, EnforcementOptions::default());
+            for &(ft, pkts) in &flows {
+                enf.inject_flow(ft, pkts, 256);
+            }
+            enf.run();
+            prop_assert_eq!(enf.sim().stats().delivered, total, "strategy {:?}", strategy);
+            let loads = enf.middlebox_loads();
+            for f in [Firewall, Ids, WebProxy, TrafficMonitor] {
+                let expect: u64 = flows
+                    .iter()
+                    .filter(|(ft, _)| chain_contains(ft.dst_port, f))
+                    .map(|&(_, p)| p)
+                    .sum();
+                let got: u64 = c
+                    .deployment()
+                    .offering(f)
+                    .iter()
+                    .map(|m| loads[m.index()])
+                    .sum();
+                prop_assert_eq!(got, expect, "function {} under {:?}", f, strategy);
+            }
+        }
+    }
+
+    /// The LP never does worse than hot-potato: λ* ≤ max hot-potato load,
+    /// and the LP weights are non-negative and flow-conserving.
+    #[test]
+    fn lp_lambda_bounded_by_hot_potato(w in arb_world()) {
+        let c = build_controller(&w);
+        let flows = flows_of(&w, &c);
+        let mut hp = c.enforcement(Steering::HotPotato, None, EnforcementOptions::default());
+        for &(ft, pkts) in &flows {
+            hp.inject_flow(ft, pkts, 256);
+        }
+        hp.run();
+        let measurements = hp.measurements();
+        if measurements.is_empty() {
+            return Ok(());
+        }
+        let (weights, report) = c
+            .solve_load_balanced(&measurements, LbOptions::default())
+            .expect("deployment offers all functions");
+        let hp_max = *hp.middlebox_loads().iter().max().unwrap() as f64;
+        prop_assert!(report.lambda <= hp_max as f64 + 1e-6,
+            "lambda {} > hp max {}", report.lambda, hp_max);
+        prop_assert!(report.lambda >= 0.0);
+        prop_assert!(weights.lambda() == report.lambda);
+    }
+
+    /// Label switching never changes loads or delivery (packet-level).
+    #[test]
+    fn label_switching_equivalence(w in arb_world()) {
+        let c = build_controller(&w);
+        let flows = flows_of(&w, &c);
+        let mut outcomes = Vec::new();
+        for ls in [false, true] {
+            let mut enf = c.enforcement(
+                Steering::HotPotato,
+                None,
+                EnforcementOptions {
+                    encoding: if ls {
+                        sdm::core::SteeringEncoding::LabelSwitching
+                    } else {
+                        sdm::core::SteeringEncoding::IpOverIp
+                    },
+                    ..Default::default()
+                },
+            );
+            for (i, &(ft, pkts)) in flows.iter().enumerate() {
+                enf.inject_flow_packets(
+                    ft,
+                    pkts.min(5),
+                    256,
+                    sdm::netsim::SimTime(i as u64),
+                    500,
+                );
+            }
+            enf.run();
+            outcomes.push((enf.sim().stats().delivered, enf.middlebox_loads()));
+        }
+        prop_assert_eq!(&outcomes[0], &outcomes[1]);
+    }
+}

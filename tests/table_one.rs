@@ -1,0 +1,158 @@
+//! A narrative integration test: the paper's Table I, enforced end to end
+//! on the campus network for all four traffic directions it describes.
+
+use sdm::core::{
+    Controller, Deployment, EnforcementOptions, KConfig, MiddleboxSpec, Strategy,
+};
+use sdm::netsim::{FiveTuple, Packet, Prefix, Protocol, StubId};
+use sdm::policy::{ActionList, NetworkFunction, Policy, PolicySet, TrafficDescriptor};
+use sdm::topology::campus::campus;
+
+use NetworkFunction::*;
+
+/// Table I with `subnet a` = the whole 10.0.0.0/8 enterprise space.
+fn table_one() -> PolicySet {
+    let a: Prefix = "10.0.0.0/8".parse().unwrap();
+    let mut set = PolicySet::new();
+    set.push(Policy::permit(
+        TrafficDescriptor::new().src_prefix(a).dst_prefix(a).dst_port(80),
+    ));
+    set.push(Policy::permit(
+        TrafficDescriptor::new().src_prefix(a).dst_prefix(a).src_port(80),
+    ));
+    set.push(Policy::new(
+        TrafficDescriptor::new().dst_prefix(a).dst_port(80),
+        ActionList::chain([Firewall, Ids]),
+    ));
+    set.push(Policy::new(
+        TrafficDescriptor::new().src_prefix(a).src_port(80),
+        ActionList::chain([Ids, Firewall]),
+    ));
+    set.push(Policy::new(
+        TrafficDescriptor::new().src_prefix(a).dst_port(80),
+        ActionList::chain([Firewall, Ids, WebProxy]),
+    ));
+    set.push(Policy::new(
+        TrafficDescriptor::new().dst_prefix(a).src_port(80),
+        ActionList::chain([WebProxy, Ids, Firewall]),
+    ));
+    set
+}
+
+#[test]
+fn table_one_all_four_directions() {
+    let plan = campus(6);
+    let gw = plan.gateways()[0];
+    let mut dep = Deployment::new();
+    let fw = dep.add(MiddleboxSpec::new(Firewall, plan.cores()[0], 1.0));
+    let ids = dep.add(MiddleboxSpec::new(Ids, plan.cores()[5], 1.0));
+    let wp = dep.add(MiddleboxSpec::new(WebProxy, plan.cores()[10], 1.0));
+    let c = Controller::new(plan, dep, table_one(), KConfig::uniform(1));
+    let mut enf = c.enforcement(Strategy::HotPotato, None, EnforcementOptions::default());
+
+    let host = |s: u32| c.addr_plan().host(StubId(s), 1);
+    let external: sdm::netsim::Ipv4Addr = "93.184.216.34".parse().unwrap();
+
+    // 1. internal web client -> internal web server: permitted untouched.
+    enf.inject_flow(
+        FiveTuple { src: host(0), dst: host(4), src_port: 50_000, dst_port: 80, proto: Protocol::Tcp },
+        100,
+        400,
+    );
+    // 2. internal web server -> internal client (return): also permitted.
+    enf.inject_flow(
+        FiveTuple { src: host(4), dst: host(0), src_port: 80, dst_port: 50_000, proto: Protocol::Tcp },
+        100,
+        400,
+    );
+    // 3. outbound web access to an external server: FW -> IDS -> WP.
+    enf.inject_flow(
+        FiveTuple { src: host(2), dst: external, src_port: 51_000, dst_port: 80, proto: Protocol::Tcp },
+        100,
+        400,
+    );
+    // 4. inbound web access from an external host: FW -> IDS (arrives at a
+    //    gateway like real Internet traffic).
+    enf.sim_mut().inject_at_router(
+        gw,
+        Packet::with_weight(
+            FiveTuple { src: external, dst: host(7), src_port: 52_000, dst_port: 80, proto: Protocol::Tcp },
+            400,
+            100,
+        ),
+    );
+    enf.run();
+
+    let stats = enf.sim().stats();
+    assert_eq!(stats.delivered, 300, "flows 1, 2 and 4 end inside");
+    assert_eq!(stats.delivered_external, 100, "flow 3 leaves via a gateway");
+
+    let loads = enf.middlebox_loads();
+    // FW: outbound (3) + inbound (4) = 200; internal flows never touch it.
+    assert_eq!(loads[fw.index()], 200, "FW load");
+    // IDS: same two flows.
+    assert_eq!(loads[ids.index()], 200, "IDS load");
+    // WP: outbound only.
+    assert_eq!(loads[wp.index()], 100, "WP load");
+
+    // Traffic ordering spot-check via label tables is covered elsewhere;
+    // here verify the proxies saw what they should.
+    let p0 = enf.proxy_state(StubId(0));
+    assert_eq!(p0.lock().counters.permitted, 100, "stub 0's web was permitted");
+    let p7 = enf.proxy_state(StubId(7));
+    assert_eq!(p7.lock().counters.inbound, 100, "stub 7 received the inbound flow");
+}
+
+/// The same world under load balancing and label switching stays correct
+/// (smoke across feature combinations).
+#[test]
+fn table_one_with_lb_and_label_switching() {
+    let plan = campus(6);
+    let mut dep = Deployment::new();
+    dep.add(MiddleboxSpec::new(Firewall, plan.cores()[0], 1.0));
+    dep.add(MiddleboxSpec::new(Firewall, plan.cores()[7], 1.0));
+    dep.add(MiddleboxSpec::new(Ids, plan.cores()[5], 1.0));
+    dep.add(MiddleboxSpec::new(WebProxy, plan.cores()[10], 1.0));
+    let c = Controller::new(plan, dep, table_one(), KConfig::uniform(2));
+
+    // measurement pass
+    let mut measure = c.enforcement(Strategy::HotPotato, None, EnforcementOptions::default());
+    for i in 0..60u16 {
+        let ft = FiveTuple {
+            src: c.addr_plan().host(StubId((i % 10) as u32), 2),
+            dst: "93.184.216.34".parse().unwrap(),
+            src_port: 53_000 + i,
+            dst_port: 80,
+            proto: Protocol::Tcp,
+        };
+        measure.inject_flow(ft, 10, 400);
+    }
+    measure.run();
+    let (w, _) = c
+        .solve_load_balanced(&measure.measurements(), sdm::core::LbOptions::default())
+        .unwrap();
+
+    let mut enf = c.enforcement(
+        Strategy::LoadBalanced,
+        Some(w),
+        EnforcementOptions {
+            encoding: sdm::core::SteeringEncoding::LabelSwitching,
+            ..Default::default()
+        },
+    );
+    for i in 0..60u16 {
+        let ft = FiveTuple {
+            src: c.addr_plan().host(StubId((i % 10) as u32), 2),
+            dst: "93.184.216.34".parse().unwrap(),
+            src_port: 53_000 + i,
+            dst_port: 80,
+            proto: Protocol::Tcp,
+        };
+        enf.inject_flow_packets(ft, 5, 400, sdm::netsim::SimTime(i as u64 * 10), 300);
+    }
+    enf.run();
+    assert_eq!(enf.sim().stats().delivered_external, 300);
+    // both firewalls participate under LB
+    let loads = enf.middlebox_loads();
+    assert!(loads[0] > 0 && loads[1] > 0, "LB splits FWs: {loads:?}");
+}

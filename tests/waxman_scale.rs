@@ -1,0 +1,152 @@
+//! Integration tests at the Waxman topology's scale (400 stub networks):
+//! the full pipeline, label switching, companion return-traffic policies,
+//! and statistical balance of the random strategy.
+
+use sdm::core::{EnforcementOptions, LbOptions, SteeringEncoding, Strategy};
+use sdm::netsim::SimTime;
+use sdm::policy::NetworkFunction;
+use sdm::workload::{PolicyClass, PolicyClassCounts, WorkloadConfig};
+use sdm_bench::{ExperimentConfig, World};
+
+fn small_waxman() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::waxman(5);
+    cfg.policy_counts = PolicyClassCounts {
+        many_to_one: 5,
+        one_to_many: 5,
+        one_to_one: 5,
+        companions: false,
+    };
+    cfg
+}
+
+/// Label switching behaves identically at 400-stub scale.
+#[test]
+fn waxman_label_switching_equivalence() {
+    let world = World::build(&small_waxman());
+    let flows = sdm_workload::generate_flows(
+        &world.generated,
+        world.controller.addr_plan(),
+        &WorkloadConfig {
+            flows: 60,
+            seed: 9,
+            ..Default::default()
+        },
+    );
+    let mut outcomes = Vec::new();
+    for encoding in [SteeringEncoding::IpOverIp, SteeringEncoding::LabelSwitching] {
+        let mut enf = world.controller.enforcement(
+            Strategy::HotPotato,
+            None,
+            EnforcementOptions {
+                encoding,
+                ..Default::default()
+            },
+        );
+        for (i, f) in flows.iter().enumerate() {
+            enf.inject_flow_packets(f.five_tuple, f.packets.min(8), 300, SimTime(i as u64), 400);
+        }
+        enf.run();
+        outcomes.push((
+            enf.sim().stats().delivered + enf.sim().stats().delivered_external,
+            enf.middlebox_loads(),
+        ));
+    }
+    assert_eq!(outcomes[0], outcomes[1]);
+}
+
+/// Companion return-traffic policies enforce the reversed chain
+/// WP → IDS → FW end-to-end at scale.
+#[test]
+fn companion_policies_enforce_reversed_chain() {
+    let mut cfg = small_waxman();
+    cfg.policy_counts.companions = true;
+    let world = World::build(&cfg);
+    // generated classes now include companions in the flow rotation
+    let flows = sdm_workload::generate_flows(
+        &world.generated,
+        world.controller.addr_plan(),
+        &WorkloadConfig {
+            flows: 400,
+            seed: 4,
+            ..Default::default()
+        },
+    );
+    let companion_flows: Vec<_> = flows
+        .iter()
+        .filter(|f| world.generated.endpoints(f.policy).class == PolicyClass::Companion)
+        .collect();
+    assert!(!companion_flows.is_empty(), "companion flows generated");
+
+    let mut enf = world
+        .controller
+        .enforcement(Strategy::HotPotato, None, EnforcementOptions::default());
+    let mut total = 0;
+    for f in &companion_flows {
+        enf.inject_flow(f.five_tuple, f.packets, 300);
+        total += f.packets;
+    }
+    enf.run();
+    assert_eq!(enf.sim().stats().delivered, total);
+    // companions traverse WP, IDS and FW exactly once each
+    let loads = enf.middlebox_loads();
+    for f in [
+        NetworkFunction::WebProxy,
+        NetworkFunction::Ids,
+        NetworkFunction::Firewall,
+    ] {
+        let sum: u64 = world
+            .deployment
+            .offering(f)
+            .iter()
+            .map(|m| loads[m.index()])
+            .sum();
+        assert_eq!(sum, total, "function {f}");
+    }
+    let tm_sum: u64 = world
+        .deployment
+        .offering(NetworkFunction::TrafficMonitor)
+        .iter()
+        .map(|m| loads[m.index()])
+        .sum();
+    assert_eq!(tm_sum, 0, "TM is not in the companion chain");
+}
+
+/// At Waxman scale the random strategy spreads load across *all* boxes of
+/// the heavily replicated types (no box starves), while hot-potato
+/// starves some — the Figure 5 contrast, asserted statistically.
+#[test]
+fn waxman_random_spreads_hot_potato_starves() {
+    let world = World::build(&small_waxman());
+    let flows = world.flows(120_000, 6);
+    let hp = world.run_strategy(Strategy::HotPotato, None, &flows);
+    let rand = world.run_strategy(Strategy::Random { salt: 11 }, None, &flows);
+    let ids_boxes = world.deployment.offering(NetworkFunction::Ids);
+    let hp_starved = ids_boxes.iter().filter(|m| hp.loads[m.index()] == 0).count();
+    let rand_starved = rand.loads.iter().filter(|&&l| l == 0).count();
+    assert!(
+        rand_starved <= hp_starved,
+        "random should starve no more boxes than hot-potato"
+    );
+    let rand_ids_min = ids_boxes.iter().map(|m| rand.loads[m.index()]).min().unwrap();
+    assert!(rand_ids_min > 0, "every IDS sees traffic under random");
+}
+
+/// The whole measurement→LP→LB pipeline at Waxman scale respects the λ
+/// the LP promised.
+#[test]
+fn waxman_lb_realizes_lambda() {
+    let world = World::build(&small_waxman());
+    let flows = world.flows(150_000, 8);
+    let hp = world.run_strategy(Strategy::HotPotato, None, &flows);
+    let (w, report) = world
+        .controller
+        .solve_load_balanced(&hp.measurements, LbOptions::default())
+        .unwrap();
+    let lb = world.run_strategy(Strategy::LoadBalanced, Some(w), &flows);
+    let realized = lb.report.overall_max() as f64;
+    assert!(
+        realized <= report.lambda * 1.30,
+        "realized {realized} vs lambda {}",
+        report.lambda
+    );
+}
