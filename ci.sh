@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# CI entry point. The workspace is hermetic — every dependency is an
+# in-tree path dependency (enforced by tests/hermetic.rs) — so everything
+# below runs with --offline and must succeed with zero network access.
+set -eu
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> table3 smoke run (reduced volume)"
+cargo run --release --offline -p sdm-bench --bin table3_distribution -- --packets 1000000
+
+echo "==> CI OK"

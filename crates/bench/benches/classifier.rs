@@ -2,13 +2,13 @@
 //! versus the hierarchical-trie classifier (§III.D), across policy-table
 //! sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use sdm_netsim::{FiveTuple, Ipv4Addr, Prefix, Protocol};
 use sdm_policy::{
     ActionList, NetworkFunction, Policy, PolicySet, PortMatch, TrafficDescriptor, TrieClassifier,
 };
+use sdm_util::bench::Runner;
 
 fn synthetic_policies(n: usize) -> PolicySet {
     let mut set = PolicySet::new();
@@ -36,32 +36,25 @@ fn sample_packets(n: usize) -> Vec<FiveTuple> {
         .collect()
 }
 
-fn bench_classifiers(c: &mut Criterion) {
+fn main() {
     let packets = sample_packets(1024);
-    let mut group = c.benchmark_group("classifier");
+    let mut group = Runner::new("classifier");
     for n in [32usize, 256, 2048] {
         let set = synthetic_policies(n);
         let trie = TrieClassifier::build(&set);
-        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
-            let mut i = 0;
-            b.iter(|| {
-                i = (i + 1) % packets.len();
-                black_box(set.first_match(&packets[i]))
-            })
+        let mut i = 0;
+        group.bench(&format!("linear/{n}"), || {
+            i = (i + 1) % packets.len();
+            black_box(set.first_match(&packets[i]))
         });
-        group.bench_with_input(BenchmarkId::new("trie", n), &n, |b, _| {
-            let mut i = 0;
-            b.iter(|| {
-                i = (i + 1) % packets.len();
-                black_box(trie.classify(&packets[i]))
-            })
+        let mut i = 0;
+        group.bench(&format!("trie/{n}"), || {
+            i = (i + 1) % packets.len();
+            black_box(trie.classify(&packets[i]))
         });
-        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
-            b.iter(|| black_box(TrieClassifier::build(&set)))
+        group.bench(&format!("build/{n}"), || {
+            black_box(TrieClassifier::build(&set))
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_classifiers);
-criterion_main!(benches);

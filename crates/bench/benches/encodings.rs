@@ -3,15 +3,15 @@
 //! source routing. The full-detail table comes from the `label_switching`
 //! binary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use sdm_bench::{ExperimentConfig, World};
 use sdm_core::{EnforcementOptions, SteeringEncoding, Strategy};
 use sdm_netsim::SimTime;
+use sdm_util::bench::Runner;
 use sdm_workload::WorkloadConfig;
 
-fn bench_encodings(c: &mut Criterion) {
+fn main() {
     let world = World::build(&ExperimentConfig::campus(3));
     let flows = sdm_workload::generate_flows(
         &world.generated,
@@ -22,33 +22,27 @@ fn bench_encodings(c: &mut Criterion) {
             ..Default::default()
         },
     );
-    let mut group = c.benchmark_group("encodings");
-    group.sample_size(10);
+    let mut group = Runner::new("encodings");
     for (name, encoding) in [
         ("ip_over_ip", SteeringEncoding::IpOverIp),
         ("label_switching", SteeringEncoding::LabelSwitching),
         ("source_routing", SteeringEncoding::SourceRouting),
     ] {
-        group.bench_with_input(BenchmarkId::new("steer_100_flows_x20", name), &encoding, |b, &enc| {
-            b.iter(|| {
-                let mut enf = world.controller.enforcement(
-                    Strategy::HotPotato,
-                    None,
-                    EnforcementOptions {
-                        encoding: enc,
-                        ..Default::default()
-                    },
-                );
-                for (i, f) in flows.iter().enumerate() {
-                    enf.inject_flow_packets(f.five_tuple, 20, 500, SimTime(i as u64), 100);
-                }
-                enf.run();
-                black_box(enf.sim().stats().delivered)
-            })
+        group.bench(&format!("steer_100_flows_x20/{name}"), || {
+            let mut enf = world.controller.enforcement(
+                Strategy::HotPotato,
+                None,
+                EnforcementOptions {
+                    encoding,
+                    ..Default::default()
+                },
+            );
+            for (i, f) in flows.iter().enumerate() {
+                enf.inject_flow_packets(f.five_tuple, 20, 500, SimTime(i as u64), 100);
+            }
+            enf.run();
+            black_box(enf.sim().stats().delivered)
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_encodings);
-criterion_main!(benches);

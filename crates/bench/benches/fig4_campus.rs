@@ -2,12 +2,12 @@
 //! HP vs Rand vs LB) at a reduced volume. The canonical full-scale table
 //! is produced by `cargo run --release -p sdm-bench --bin fig4_campus`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use sdm_bench::{figure_header, figure_row, ExperimentConfig, World};
+use sdm_util::bench::Runner;
 
-fn bench_fig4(c: &mut Criterion) {
+fn main() {
     let world = World::build(&ExperimentConfig::campus(3));
     let flows = world.flows(200_000, 5);
 
@@ -16,13 +16,9 @@ fn bench_fig4(c: &mut Criterion) {
     let cmp = world.compare_strategies(&flows);
     eprintln!("fig4 (reduced 200k pkts)\n{}\n{}", figure_header(), figure_row(200_000, &cmp));
 
-    let mut group = c.benchmark_group("fig4_campus");
-    group.sample_size(10);
-    group.bench_function("three_strategy_comparison_200k", |b| {
-        b.iter(|| black_box(world.compare_strategies(&flows).lb_report.lambda))
+    let mut group = Runner::new("fig4_campus");
+    group.bench("three_strategy_comparison_200k", || {
+        black_box(world.compare_strategies(&flows).lb_report.lambda)
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_fig4);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! Micro-benchmark: the §III.D flow cache — hit-path lookups, miss-path
 //! insert, and the flow-hash itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use sdm_netsim::{FiveTuple, Ipv4Addr, Protocol, SimTime};
 use sdm_policy::{ActionList, FlowTable, NetworkFunction, PolicyId};
+use sdm_util::bench::Runner;
 
 fn flows(n: usize) -> Vec<FiveTuple> {
     (0..n as u32)
@@ -19,11 +19,11 @@ fn flows(n: usize) -> Vec<FiveTuple> {
         .collect()
 }
 
-fn bench_flow_table(c: &mut Criterion) {
+fn main() {
     let fts = flows(10_000);
-    let mut group = c.benchmark_group("flow_table");
+    let mut group = Runner::new("flow_table");
 
-    group.bench_function("lookup_hit", |b| {
+    {
         let mut table = FlowTable::new(u64::MAX / 2);
         for ft in &fts {
             table.insert_positive(
@@ -34,41 +34,38 @@ fn bench_flow_table(c: &mut Criterion) {
             );
         }
         let mut i = 0;
-        b.iter(|| {
+        group.bench("lookup_hit", || {
             i = (i + 1) % fts.len();
             black_box(table.lookup(&fts[i], SimTime(1), 1).is_some())
-        })
-    });
+        });
+    }
 
-    group.bench_function("lookup_miss", |b| {
+    {
         let mut table = FlowTable::new(u64::MAX / 2);
         let mut i = 0;
-        b.iter(|| {
+        group.bench("lookup_miss", || {
             i = (i + 1) % fts.len();
             black_box(table.lookup(&fts[i], SimTime(1), 1).is_none())
-        })
-    });
+        });
+    }
 
-    group.bench_function("insert_positive", |b| {
+    {
         let mut table = FlowTable::new(u64::MAX / 2);
         let actions = ActionList::chain([NetworkFunction::Firewall, NetworkFunction::Ids]);
         let mut i = 0;
-        b.iter(|| {
+        group.bench("insert_positive", || {
             i = (i + 1) % fts.len();
             table.insert_positive(fts[i], PolicyId(0), actions.clone(), SimTime(0));
-        })
-    });
+        });
+    }
 
-    group.bench_function("stable_hash", |b| {
+    {
         let mut i = 0;
-        b.iter(|| {
+        group.bench("stable_hash", || {
             i = (i + 1) % fts.len();
             black_box(fts[i].stable_hash())
-        })
-    });
+        });
+    }
 
     group.finish();
 }
-
-criterion_group!(benches, bench_flow_table);
-criterion_main!(benches);

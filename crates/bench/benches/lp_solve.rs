@@ -2,30 +2,27 @@
 //! formulation at campus scale, and the full Eq. (1) formulation on a
 //! smaller instance.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use sdm_bench::{ExperimentConfig, World};
 use sdm_core::{LbOptions, Strategy};
+use sdm_util::bench::Runner;
 use sdm_workload::PolicyClassCounts;
 
-fn bench_lp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lp_solve");
-    group.sample_size(10);
+fn main() {
+    let mut group = Runner::new("lp_solve");
 
     // campus-scale Eq. (2)
     let world = World::build(&ExperimentConfig::campus(3));
     let flows = world.flows(500_000, 5);
     let measured = world.run_strategy(Strategy::HotPotato, None, &flows);
-    group.bench_function("eq2_campus", |b| {
-        b.iter(|| {
-            black_box(
-                world
-                    .controller
-                    .solve_load_balanced(&measured.measurements, LbOptions::default())
-                    .unwrap(),
-            )
-        })
+    group.bench("eq2_campus", || {
+        black_box(
+            world
+                .controller
+                .solve_load_balanced(&measured.measurements, LbOptions::default())
+                .unwrap(),
+        )
     });
 
     // smaller instance for Eq. (1)
@@ -39,29 +36,22 @@ fn bench_lp(c: &mut Criterion) {
     let world_small = World::build(&cfg);
     let flows = world_small.flows(200_000, 5);
     let measured = world_small.run_strategy(Strategy::HotPotato, None, &flows);
-    group.bench_function("eq1_campus_small", |b| {
-        b.iter(|| {
-            black_box(
-                world_small
-                    .controller
-                    .solve_load_balanced_full(&measured.measurements, LbOptions::default())
-                    .unwrap(),
-            )
-        })
+    group.bench("eq1_campus_small", || {
+        black_box(
+            world_small
+                .controller
+                .solve_load_balanced_full(&measured.measurements, LbOptions::default())
+                .unwrap(),
+        )
     });
-    group.bench_function("eq2_campus_small", |b| {
-        b.iter(|| {
-            black_box(
-                world_small
-                    .controller
-                    .solve_load_balanced(&measured.measurements, LbOptions::default())
-                    .unwrap(),
-            )
-        })
+    group.bench("eq2_campus_small", || {
+        black_box(
+            world_small
+                .controller
+                .solve_load_balanced(&measured.measurements, LbOptions::default())
+                .unwrap(),
+        )
     });
 
     group.finish();
 }
-
-criterion_group!(benches, bench_lp);
-criterion_main!(benches);

@@ -1,48 +1,39 @@
 //! Micro-benchmark: discrete-event simulator throughput — full enforcement
 //! runs (events/second) and plain routing without policies.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use sdm_bench::{ExperimentConfig, World};
 use sdm_core::Strategy;
 use sdm_netsim::{Packet, Simulator, StubId};
+use sdm_util::bench::Runner;
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(10);
+fn main() {
+    let mut group = Runner::new("simulator");
 
     let world = World::build(&ExperimentConfig::campus(3));
     let flows = world.flows(100_000, 5);
-    group.throughput(Throughput::Elements(flows.len() as u64));
-    group.bench_function("enforcement_campus_100k_pkts", |b| {
-        b.iter(|| {
-            let run = world.run_strategy(Strategy::HotPotato, None, &flows);
-            black_box(run.delivered)
-        })
+    group.bench("enforcement_campus_100k_pkts", || {
+        let run = world.run_strategy(Strategy::HotPotato, None, &flows);
+        black_box(run.delivered)
     });
 
     // plain routing: no devices, raw hop-by-hop forwarding
     let plan = sdm_topology::campus::campus(3);
-    group.bench_function("plain_routing_1k_flows", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(&plan);
-            for i in 0..1000u32 {
-                let ft = sdm_netsim::FiveTuple {
-                    src: sim.addresses().host(StubId(i % 10), i),
-                    dst: sim.addresses().host(StubId((i + 1) % 10), i),
-                    src_port: (i % 60_000) as u16,
-                    dst_port: 80,
-                    proto: sdm_netsim::Protocol::Tcp,
-                };
-                sim.inject_from_stub(StubId(i % 10), Packet::data(ft, 512));
-            }
-            black_box(sim.run_until_idle())
-        })
+    group.bench("plain_routing_1k_flows", || {
+        let mut sim = Simulator::new(&plan);
+        for i in 0..1000u32 {
+            let ft = sdm_netsim::FiveTuple {
+                src: sim.addresses().host(StubId(i % 10), i),
+                dst: sim.addresses().host(StubId((i + 1) % 10), i),
+                src_port: (i % 60_000) as u16,
+                dst_port: 80,
+                proto: sdm_netsim::Protocol::Tcp,
+            };
+            sim.inject_from_stub(StubId(i % 10), Packet::data(ft, 512));
+        }
+        black_box(sim.run_until_idle())
     });
 
     group.finish();
 }
-
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);

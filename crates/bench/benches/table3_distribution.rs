@@ -3,12 +3,12 @@
 //! The canonical full-scale table is produced by
 //! `cargo run --release -p sdm-bench --bin table3_distribution`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use sdm_bench::{ExperimentConfig, World, PLOT_ORDER};
+use sdm_util::bench::Runner;
 
-fn bench_table3(c: &mut Criterion) {
+fn main() {
     let world = World::build(&ExperimentConfig::campus(3));
     let flows = world.flows(200_000, 42);
     let cmp = world.compare_strategies(&flows);
@@ -26,16 +26,10 @@ fn bench_table3(c: &mut Criterion) {
         );
     }
 
-    let mut group = c.benchmark_group("table3_distribution");
-    group.sample_size(10);
-    group.bench_function("load_distribution_200k", |b| {
-        b.iter(|| {
-            let cmp = world.compare_strategies(&flows);
-            black_box(cmp.lb.report.overall_max())
-        })
+    let mut group = Runner::new("table3_distribution");
+    group.bench("load_distribution_200k", || {
+        let cmp = world.compare_strategies(&flows);
+        black_box(cmp.lb.report.overall_max())
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_table3);
-criterion_main!(benches);

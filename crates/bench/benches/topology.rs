@@ -2,47 +2,41 @@
 //! Dijkstra) on both evaluation networks, generator cost, and workload
 //! generation throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use sdm_netsim::AddressPlan;
+use sdm_util::bench::Runner;
 use sdm_workload::{evaluation_policies, generate_flows, PolicyClassCounts, WorkloadConfig};
 
-fn bench_topology(c: &mut Criterion) {
-    let mut group = c.benchmark_group("topology");
-    group.sample_size(10);
+fn main() {
+    let mut group = Runner::new("topology");
 
-    group.bench_function("campus_generate", |b| {
-        b.iter(|| black_box(sdm_topology::campus::campus(3)))
+    group.bench("campus_generate", || {
+        black_box(sdm_topology::campus::campus(3))
     });
-    group.bench_function("waxman_generate", |b| {
-        b.iter(|| black_box(sdm_topology::waxman::waxman(3)))
+    group.bench("waxman_generate", || {
+        black_box(sdm_topology::waxman::waxman(3))
     });
 
     let campus = sdm_topology::campus::campus(3);
-    group.bench_function("campus_ospf_convergence", |b| {
-        b.iter(|| black_box(campus.topology().routing_tables()))
+    group.bench("campus_ospf_convergence", || {
+        black_box(campus.topology().routing_tables())
     });
     let waxman = sdm_topology::waxman::waxman(3);
-    group.bench_function("waxman_ospf_convergence", |b| {
-        b.iter(|| black_box(waxman.topology().routing_tables()))
+    group.bench("waxman_ospf_convergence", || {
+        black_box(waxman.topology().routing_tables())
     });
     group.finish();
 
-    let mut group = c.benchmark_group("workload");
-    group.sample_size(10);
+    let mut group = Runner::new("workload");
     let addrs = AddressPlan::new(&campus);
     let gp = evaluation_policies(&addrs, PolicyClassCounts::default(), 3);
     let cfg = WorkloadConfig {
         flows: 10_000,
         ..Default::default()
     };
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("generate_10k_flows", |b| {
-        b.iter(|| black_box(generate_flows(&gp, &addrs, &cfg).len()))
+    group.bench("generate_10k_flows", || {
+        black_box(generate_flows(&gp, &addrs, &cfg).len())
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_topology);
-criterion_main!(benches);

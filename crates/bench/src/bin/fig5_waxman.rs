@@ -8,6 +8,7 @@
 //!     [--seed N]               world seed (default 3)
 
 use sdm_bench::{arg_value, figure_header, figure_row, ExperimentConfig, World};
+use sdm_util::par::par_map;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -26,11 +27,15 @@ fn main() {
     println!("# columns per type: hot-potato (HP), random (Rd), load-balanced (LB)");
     let world = World::build(&ExperimentConfig::waxman(seed));
     println!("{}", figure_header());
-    for &m in &volumes {
+    // each volume is an independent experiment: sweep them on scoped threads
+    let rows = par_map(&volumes, |_, &m| {
         let total = m * 1_000_000;
         let flows = world.flows(total, seed.wrapping_add(m));
         let c = world.compare_strategies(&flows);
-        println!("{}", figure_row(total, &c));
+        figure_row(total, &c)
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!("# expected shape (paper): loads grow linearly; LB < Rand < HP for every type");
 }

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sdm_util::sync::Mutex;
 
 use sdm_netsim::{
     preassigned_device_addr, AddressPlan, Attachment, FiveTuple, Packet, SimTime, Simulator,

@@ -5,17 +5,14 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sdm_util::rng::StdRng;
 
 use sdm_netsim::Attachment;
 use sdm_policy::NetworkFunction;
 use sdm_topology::{NetworkPlan, NodeId};
 
 /// Identifier of a middlebox (dense index within a [`Deployment`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MiddleboxId(pub u32);
 
 impl MiddleboxId {
@@ -38,7 +35,7 @@ fn default_attachment() -> String {
 }
 
 /// Static description of one software-defined middlebox.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MiddleboxSpec {
     /// Functions this middlebox implements (non-empty). The paper's
     /// evaluation uses single-function middleboxes; multi-function boxes
@@ -49,8 +46,7 @@ pub struct MiddleboxSpec {
     /// Processing capacity `C(x)` in packets per measurement epoch.
     pub capacity: f64,
     /// In-path or off-path attachment (§III.A); stored as a string for
-    /// serde-friendliness, parsed by [`MiddleboxSpec::attachment`].
-    #[serde(default = "default_attachment")]
+    /// config-friendliness, parsed by [`MiddleboxSpec::attachment`].
     pub attachment_kind: String,
 }
 
@@ -100,13 +96,12 @@ impl MiddleboxSpec {
 /// assert_eq!(dep.len(), 22);
 /// assert_eq!(dep.offering(sdm_policy::NetworkFunction::Firewall).len(), 7);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Deployment {
     specs: Vec<MiddleboxSpec>,
     /// Middleboxes currently marked failed: they keep their ids but are
     /// excluded from [`Deployment::offering`], so assignments and LPs
     /// computed against this deployment route around them.
-    #[serde(default)]
     failed: BTreeSet<MiddleboxId>,
 }
 

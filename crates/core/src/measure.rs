@@ -5,14 +5,12 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use sdm_netsim::StubId;
 use sdm_policy::PolicyId;
 
 /// A traffic destination as the measurement system sees it: another stub
 /// network or somewhere outside the enterprise (beyond a gateway).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DestKey {
     /// An internal stub network.
     Stub(StubId),
@@ -46,7 +44,7 @@ impl fmt::Display for DestKey {
 /// assert_eq!(tm.from_source(StubId(0), PolicyId(0)), 100.0);
 /// assert_eq!(tm.to_dest(DestKey::Stub(StubId(1)), PolicyId(0)), 150.0);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TrafficMatrix {
     cells: HashMap<(StubId, DestKey, PolicyId), f64>,
 }

@@ -255,7 +255,7 @@ mod tests {
     use super::*;
     use crate::deployment::{Deployment, MiddleboxSpec};
     use crate::steer::{Assignments, KConfig, Strategy};
-    use parking_lot::Mutex;
+    use sdm_util::sync::Mutex;
     use sdm_netsim::AddressPlan;
     use sdm_policy::NetworkFunction::*;
     use sdm_topology::campus::campus;

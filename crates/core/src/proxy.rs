@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sdm_util::sync::Mutex;
 
 use sdm_netsim::{Device, DeviceCtx, Packet, PacketKind, Prefix, StubId};
 use sdm_policy::LocalClassifier;

@@ -3,14 +3,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use sdm_policy::NetworkFunction;
+use sdm_util::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::deployment::Deployment;
 
 /// Load summary for one middlebox type (one row pair of Table III).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadRow {
     /// The function the middleboxes implement.
     pub function: NetworkFunction,
@@ -45,6 +44,41 @@ impl LoadRow {
     }
 }
 
+impl ToJson for LoadRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("function", Json::from(self.function.abbrev())),
+            ("count", Json::from(self.count)),
+            ("max", Json::from(self.max)),
+            ("min", Json::from(self.min)),
+            ("total", Json::from(self.total)),
+        ])
+    }
+}
+
+impl FromJson for LoadRow {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let name = v
+            .req("function")?
+            .as_str()
+            .ok_or_else(|| JsonError::msg("function must be a string"))?;
+        let function = NetworkFunction::from_abbrev(name)
+            .ok_or_else(|| JsonError::msg(format!("unknown function `{name}`")))?;
+        let field = |key: &str| {
+            v.req(key)?
+                .as_u64()
+                .ok_or_else(|| JsonError::msg(format!("{key} must be a non-negative integer")))
+        };
+        Ok(LoadRow {
+            function,
+            count: field("count")? as usize,
+            max: field("max")?,
+            min: field("min")?,
+            total: field("total")?,
+        })
+    }
+}
+
 /// Per-type load report computed from per-middlebox packet loads.
 ///
 /// # Example
@@ -61,7 +95,7 @@ impl LoadRow {
 /// let row = report.row(NetworkFunction::Firewall).unwrap();
 /// assert_eq!((row.max, row.min, row.total), (70, 30, 100));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadReport {
     rows: Vec<LoadRow>,
 }
@@ -108,6 +142,28 @@ impl LoadReport {
     /// Figures 4–5).
     pub fn overall_max(&self) -> u64 {
         self.rows.iter().map(|r| r.max).max().unwrap_or(0)
+    }
+}
+
+impl ToJson for LoadReport {
+    fn to_json(&self) -> Json {
+        Json::obj([(
+            "rows",
+            Json::Arr(self.rows.iter().map(ToJson::to_json).collect()),
+        )])
+    }
+}
+
+impl FromJson for LoadReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let rows = v
+            .req("rows")?
+            .as_arr()
+            .ok_or_else(|| JsonError::msg("rows must be an array"))?
+            .iter()
+            .map(LoadRow::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(LoadReport { rows })
     }
 }
 
@@ -168,6 +224,23 @@ mod tests {
     #[should_panic(expected = "one load per middlebox")]
     fn length_mismatch_rejected() {
         let _ = LoadReport::from_loads(&dep3(), &[1, 2]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let report = LoadReport::from_loads(&dep3(), &[10, 40, 25]);
+        let text = report.to_json().to_string_pretty();
+        let back = LoadReport::from_json(&sdm_util::json::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn json_rejects_unknown_function() {
+        let v = sdm_util::json::Json::parse(
+            r#"{"function":"BOGUS","count":1,"max":1,"min":1,"total":1}"#,
+        )
+        .unwrap();
+        assert!(LoadRow::from_json(&v).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sdm_util::sync::Mutex;
 
 use sdm_netsim::{AddressPlan, Ipv4Addr};
 use sdm_policy::{FlowTable, LabelAllocator, LabelTable};

@@ -4,8 +4,6 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use sdm_netsim::{FiveTuple, StubId};
 use sdm_policy::{NetworkFunction, PolicyId};
 use sdm_topology::RoutingTables;
@@ -14,7 +12,7 @@ use crate::deployment::{Deployment, MiddleboxId};
 
 /// A place that makes steering decisions: a policy proxy or a middlebox —
 /// the paper's "arbitrary proxy or middlebox x".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SteerPoint {
     /// The policy proxy of a stub network.
     Proxy(StubId),
@@ -36,7 +34,7 @@ impl fmt::Display for SteerPoint {
 }
 
 /// Per-function candidate-set sizes `k` (§III.C / §IV.A).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KConfig {
     per_function: HashMap<NetworkFunction, usize>,
     default_k: usize,
@@ -211,7 +209,7 @@ fn k_closest_boxes(
 /// Key identifying one steering decision: who decides (`point`), under
 /// which policy, towards which position in the action list (`next_index`
 /// = 0 means "towards the first function", i.e. a proxy decision).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WeightKey {
     /// The deciding proxy or middlebox.
     pub point: SteerPoint,
@@ -224,7 +222,7 @@ pub struct WeightKey {
 /// A commodity qualifier for the full Eq. (1) formulation: the weights
 /// `t_{s,d,p}(x, y)` additionally depend on the flow's source stub and
 /// destination.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CommodityKey {
     /// The base decision key.
     pub key: WeightKey,
@@ -324,7 +322,7 @@ impl SteeringWeights {
 
 /// How steering decisions are *encoded* on the wire, orthogonal to which
 /// middlebox is selected ([`Strategy`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SteeringEncoding {
     /// Every packet is tunneled IP-over-IP hop by hop (§III.B). Grows each
     /// packet by one IP header, risking fragmentation.
@@ -344,7 +342,7 @@ pub enum SteeringEncoding {
 }
 
 /// The enforcement strategy in force (§IV.B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
     /// Hot-potato: always the closest middlebox `m_x^e`.
     HotPotato,

@@ -2,135 +2,171 @@
 //! stays within candidates, respects weights proportionally, and the LP
 //! weight extraction conserves flow.
 
-use proptest::prelude::*;
-
 use sdm_core::{select_next, MiddleboxId, Strategy as Steering};
 use sdm_netsim::{FiveTuple, Ipv4Addr, Protocol};
+use sdm_util::prop::{check, Config};
+use sdm_util::rng::StdRng;
+use sdm_util::{prop_assert, prop_assert_eq};
 
-fn arb_flow() -> impl Strategy<Value = FiveTuple> {
-    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>()).prop_map(|(s, d, sp, dp)| FiveTuple {
-        src: Ipv4Addr(s),
-        dst: Ipv4Addr(d),
-        src_port: sp,
-        dst_port: dp,
+fn gen_flow(rng: &mut StdRng) -> FiveTuple {
+    FiveTuple {
+        src: Ipv4Addr(rng.next_u32()),
+        dst: Ipv4Addr(rng.next_u32()),
+        src_port: rng.gen_range(0u16..=u16::MAX - 1),
+        dst_port: rng.gen_range(0u16..=u16::MAX - 1),
         proto: Protocol::Tcp,
-    })
+    }
 }
 
 fn mids(n: usize) -> Vec<MiddleboxId> {
     (0..n as u32).map(MiddleboxId).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Whatever the strategy and weights, the selection is one of the
-    /// candidates (or None only for an empty candidate set).
-    #[test]
-    fn selection_stays_within_candidates(
-        n in 0usize..6,
-        ft in arb_flow(),
-        salt in any::<u64>(),
-        raw_weights in proptest::collection::vec(0.0f64..100.0, 0..6),
-    ) {
-        let candidates = mids(n);
-        let weights: Vec<(MiddleboxId, f64)> = candidates
-            .iter()
-            .zip(raw_weights.iter())
-            .map(|(&m, &w)| (m, w))
-            .collect();
-        for strategy in [
-            Steering::HotPotato,
-            Steering::Random { salt },
-            Steering::LoadBalanced,
-        ] {
-            let got = select_next(strategy, &candidates, Some(&weights), &ft);
-            match got {
-                None => prop_assert!(candidates.is_empty()),
-                Some(m) => prop_assert!(candidates.contains(&m)),
+/// Whatever the strategy and weights, the selection is one of the
+/// candidates (or None only for an empty candidate set).
+#[test]
+fn selection_stays_within_candidates() {
+    check(
+        "selection_stays_within_candidates",
+        &Config::with_cases(128),
+        |rng: &mut StdRng| {
+            let n = rng.gen_range(0usize..6);
+            let n_weights = rng.gen_range(0usize..6);
+            let raw_weights: Vec<f64> =
+                (0..n_weights).map(|_| rng.gen_range(0.0..100.0)).collect();
+            (n, rng.next_u64(), rng.next_u64(), raw_weights)
+        },
+        |&(n, salt, flow_seed, ref raw_weights)| {
+            let ft = gen_flow(&mut StdRng::seed_from_u64(flow_seed));
+            let candidates = mids(n);
+            let weights: Vec<(MiddleboxId, f64)> = candidates
+                .iter()
+                .zip(raw_weights.iter())
+                .map(|(&m, &w)| (m, w))
+                .collect();
+            for strategy in [
+                Steering::HotPotato,
+                Steering::Random { salt },
+                Steering::LoadBalanced,
+            ] {
+                let got = select_next(strategy, &candidates, Some(&weights), &ft);
+                match got {
+                    None => prop_assert!(candidates.is_empty()),
+                    Some(m) => prop_assert!(candidates.contains(&m)),
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Selection is a pure function of (strategy, candidates, weights,
-    /// flow): repeated calls agree — the property that keeps a flow's path
-    /// stable across proxies, middleboxes and retransmissions.
-    #[test]
-    fn selection_is_deterministic(
-        n in 1usize..6,
-        ft in arb_flow(),
-        salt in any::<u64>(),
-    ) {
-        let candidates = mids(n);
-        for strategy in [
-            Steering::HotPotato,
-            Steering::Random { salt },
-            Steering::LoadBalanced,
-        ] {
-            let a = select_next(strategy, &candidates, None, &ft);
-            for _ in 0..5 {
-                prop_assert_eq!(a, select_next(strategy, &candidates, None, &ft));
+/// Selection is a pure function of (strategy, candidates, weights,
+/// flow): repeated calls agree — the property that keeps a flow's path
+/// stable across proxies, middleboxes and retransmissions.
+#[test]
+fn selection_is_deterministic() {
+    check(
+        "selection_is_deterministic",
+        &Config::with_cases(128),
+        |rng: &mut StdRng| (rng.gen_range(1usize..6), rng.next_u64(), rng.next_u64()),
+        |&(n, salt, flow_seed)| {
+            let n = n.max(1);
+            let ft = gen_flow(&mut StdRng::seed_from_u64(flow_seed));
+            let candidates = mids(n);
+            for strategy in [
+                Steering::HotPotato,
+                Steering::Random { salt },
+                Steering::LoadBalanced,
+            ] {
+                let a = select_next(strategy, &candidates, None, &ft);
+                for _ in 0..5 {
+                    prop_assert_eq!(a, select_next(strategy, &candidates, None, &ft));
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Load-balanced selection frequencies converge to the weight
-    /// proportions over many flows (10% tolerance at 4000 samples).
-    #[test]
-    fn lb_frequencies_match_weights(
-        w0 in 1.0f64..10.0,
-        w1 in 1.0f64..10.0,
-        w2 in 1.0f64..10.0,
-    ) {
-        let candidates = mids(3);
-        let weights = vec![
-            (MiddleboxId(0), w0),
-            (MiddleboxId(1), w1),
-            (MiddleboxId(2), w2),
-        ];
-        let total = w0 + w1 + w2;
-        let mut counts = [0u32; 3];
-        let n = 4000;
-        for i in 0..n {
-            let ft = FiveTuple {
-                src: Ipv4Addr(0x0a000000 + i),
-                dst: Ipv4Addr(0x0a100000),
-                src_port: (i % 50000) as u16,
-                dst_port: 80,
-                proto: Protocol::Tcp,
-            };
-            let m = select_next(Steering::LoadBalanced, &candidates, Some(&weights), &ft)
-                .unwrap();
-            counts[m.index()] += 1;
-        }
-        for (i, &w) in [w0, w1, w2].iter().enumerate() {
-            let expect = w / total;
-            let got = counts[i] as f64 / n as f64;
-            prop_assert!(
-                (got - expect).abs() < 0.10,
-                "candidate {}: expected {:.3}, got {:.3}",
-                i, expect, got
-            );
-        }
-    }
+/// Load-balanced selection frequencies converge to the weight
+/// proportions over many flows (10% tolerance at 4000 samples).
+#[test]
+fn lb_frequencies_match_weights() {
+    check(
+        "lb_frequencies_match_weights",
+        &Config::with_cases(128),
+        |rng: &mut StdRng| {
+            [
+                rng.gen_range(1.0..10.0),
+                rng.gen_range(1.0..10.0),
+                rng.gen_range(1.0..10.0),
+            ]
+        },
+        |&[w0, w1, w2]| {
+            let (w0, w1, w2) = (w0.max(1.0), w1.max(1.0), w2.max(1.0));
+            let candidates = mids(3);
+            let weights = vec![
+                (MiddleboxId(0), w0),
+                (MiddleboxId(1), w1),
+                (MiddleboxId(2), w2),
+            ];
+            let total = w0 + w1 + w2;
+            let mut counts = [0u32; 3];
+            let n = 4000;
+            for i in 0..n {
+                let ft = FiveTuple {
+                    src: Ipv4Addr(0x0a000000 + i),
+                    dst: Ipv4Addr(0x0a100000),
+                    src_port: (i % 50000) as u16,
+                    dst_port: 80,
+                    proto: Protocol::Tcp,
+                };
+                let m = select_next(Steering::LoadBalanced, &candidates, Some(&weights), &ft)
+                    .unwrap();
+                counts[m.index()] += 1;
+            }
+            for (i, &w) in [w0, w1, w2].iter().enumerate() {
+                let expect = w / total;
+                let got = counts[i] as f64 / n as f64;
+                prop_assert!(
+                    (got - expect).abs() < 0.10,
+                    "candidate {}: expected {:.3}, got {:.3}",
+                    i,
+                    expect,
+                    got
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// A zero-weight candidate is never chosen by the LB strategy.
-    #[test]
-    fn zero_weight_never_selected(live in 1.0f64..10.0, flows in 1u32..500) {
-        let candidates = mids(2);
-        let weights = vec![(MiddleboxId(0), 0.0), (MiddleboxId(1), live)];
-        for i in 0..flows {
-            let ft = FiveTuple {
-                src: Ipv4Addr(i),
-                dst: Ipv4Addr(99),
-                src_port: (i % 60000) as u16,
-                dst_port: 80,
-                proto: Protocol::Tcp,
-            };
-            prop_assert_eq!(
-                select_next(Steering::LoadBalanced, &candidates, Some(&weights), &ft),
-                Some(MiddleboxId(1))
-            );
-        }
-    }
+/// A zero-weight candidate is never chosen by the LB strategy.
+#[test]
+fn zero_weight_never_selected() {
+    check(
+        "zero_weight_never_selected",
+        &Config::with_cases(128),
+        |rng: &mut StdRng| (rng.gen_range(1.0..10.0), rng.gen_range(1u32..500)),
+        |&(live, flows)| {
+            let live = live.max(1.0);
+            let flows = flows.max(1);
+            let candidates = mids(2);
+            let weights = vec![(MiddleboxId(0), 0.0), (MiddleboxId(1), live)];
+            for i in 0..flows {
+                let ft = FiveTuple {
+                    src: Ipv4Addr(i),
+                    dst: Ipv4Addr(99),
+                    src_port: (i % 60000) as u16,
+                    dst_port: 80,
+                    proto: Protocol::Tcp,
+                };
+                prop_assert_eq!(
+                    select_next(Steering::LoadBalanced, &candidates, Some(&weights), &ft),
+                    Some(MiddleboxId(1))
+                );
+            }
+            Ok(())
+        },
+    );
 }

@@ -5,10 +5,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a decision variable in a [`LinearProgram`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub(crate) u32);
 
 impl VarId {
@@ -31,7 +29,7 @@ impl fmt::Display for VarId {
 }
 
 /// Relation of a linear constraint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Relation {
     /// `⟨terms⟩ ≤ rhs`
     Le,
@@ -53,7 +51,7 @@ impl fmt::Display for Relation {
 
 /// One linear constraint: a sparse list of `(variable, coefficient)` terms,
 /// a relation and a right-hand side.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Constraint {
     /// Sparse terms; repeated variables are summed.
     pub terms: Vec<(VarId, f64)>,
@@ -81,7 +79,7 @@ pub struct Constraint {
 /// assert!((sol.objective - 4.0).abs() < 1e-7); // x=4, y=0
 /// # Ok::<(), sdm_lp::SolveError>(())
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LinearProgram {
     pub(crate) objective: Vec<f64>,
     pub(crate) names: Vec<String>,

@@ -4,8 +4,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use sdm_topology::{NetworkPlan, NodeId};
 
 /// An IPv4 address, stored as a host-order `u32`.
@@ -18,7 +16,7 @@ use sdm_topology::{NetworkPlan, NodeId};
 /// assert_eq!(a.octets(), [10, 1, 2, 3]);
 /// assert_eq!(a.to_string(), "10.1.2.3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Ipv4Addr(pub u32);
 
 impl Ipv4Addr {
@@ -85,7 +83,7 @@ impl FromStr for Ipv4Addr {
 /// assert!(!p.contains("10.4.0.1".parse().unwrap()));
 /// assert!(Prefix::ANY.contains(Ipv4Addr(0xdeadbeef)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Prefix {
     addr: Ipv4Addr,
     len: u8,
@@ -180,7 +178,7 @@ impl FromStr for Prefix {
 }
 
 /// Identifier of a stub network (one per edge router, dense index).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StubId(pub u32);
 
 impl StubId {
@@ -220,7 +218,7 @@ const MAX_STUBS: usize = 1 << (24 - SUBNET_SHIFT as usize);
 /// assert_eq!(addrs.stub_of(h), Some(s0));
 /// assert!(addrs.subnet(s0).contains(h));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AddressPlan {
     edge_routers: Vec<NodeId>,
 }

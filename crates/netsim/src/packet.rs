@@ -3,8 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::Ipv4Addr;
 
 /// Size in bytes of one IPv4 header (no options); each IP-over-IP
@@ -12,7 +10,7 @@ use crate::addr::Ipv4Addr;
 pub const IP_HEADER_LEN: u32 = 20;
 
 /// Transport protocol carried in the IP header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Protocol {
     /// TCP (6).
     Tcp,
@@ -61,7 +59,7 @@ impl fmt::Display for Protocol {
 /// The 5-element flow identifier the paper hashes for flow-sticky middlebox
 /// selection and flow-cache lookups (§III.C–D): source address, destination
 /// address, source port, destination port, protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FiveTuple {
     /// Source address.
     pub src: Ipv4Addr,
@@ -121,7 +119,7 @@ impl fmt::Display for FiveTuple {
 }
 
 /// An IPv4 header (the fields the system touches).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Ipv4Header {
     /// Source address.
     pub src: Ipv4Addr,
@@ -138,7 +136,7 @@ pub const DEFAULT_TTL: u8 = 64;
 
 /// The steering label of §III.E, carried in otherwise-unused header fields
 /// (ToS byte + fragmentation offset), so inserting it never grows the packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Label(pub u16);
 
 impl fmt::Display for Label {
@@ -149,7 +147,7 @@ impl fmt::Display for Label {
 
 /// Distinguishes ordinary data packets from the label-switching control
 /// packet the last middlebox sends back to the proxy (§III.E).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketKind {
     /// An ordinary data packet.
     Data,
@@ -187,7 +185,7 @@ pub enum PacketKind {
 /// p.decapsulate().unwrap();
 /// assert_eq!(p.current_dst(), ft.dst);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Packet {
     /// Inner (original) header. Label switching rewrites `inner.dst`.
     pub inner: Ipv4Header,
@@ -230,7 +228,7 @@ pub const SEGMENT_LEN: u32 = 4;
 
 /// Fragment bookkeeping when the simulator emulates IP fragmentation
 /// (rather than only counting MTU violations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FragInfo {
     /// Identifier of the original packet (unique per split).
     pub id: u64,

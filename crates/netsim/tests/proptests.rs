@@ -2,11 +2,12 @@
 //! of the statistics counters, and delivery through arbitrary device
 //! chains on randomized campus-style worlds.
 
-use proptest::prelude::*;
-
 use sdm_netsim::{
     Attachment, Device, DeviceCtx, FiveTuple, Ipv4Addr, Packet, Protocol, Simulator, StubId,
 };
+use sdm_util::prop::{check, Config};
+use sdm_util::rng::StdRng;
+use sdm_util::{prop_assert, prop_assert_eq};
 
 /// A device that tunnels every data packet to the next address in a fixed
 /// ring of devices, the last forwarding to the real destination.
@@ -37,98 +38,134 @@ fn flow(sim: &Simulator, from: u32, to: u32, sp: u16) -> FiveTuple {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every injected packet is delivered exactly once, whatever chain of
-    /// devices it is pushed through, and device hop counts match.
-    #[test]
-    fn conservation_through_random_chains(
-        seed in 0u64..5000,
-        chain_len in 0usize..5,
-        flows in proptest::collection::vec((0u32..10, 0u32..10, 1000u16..60000, 1u64..200), 1..20),
-    ) {
-        let plan = sdm_topology::campus::campus(seed);
-        let mut sim = Simulator::new(&plan);
-        // build the chain backwards so each hop knows its successor
-        let mut next_addr: Option<Ipv4Addr> = None;
-        let mut entry: Option<sdm_netsim::DeviceId> = None;
-        for i in (0..chain_len).rev() {
-            let router = plan.cores()[(seed as usize + i * 3) % plan.cores().len()];
-            let (dev, addr) = sim.attach(
-                router,
-                Attachment::InPath,
-                Box::new(ChainHop { next: next_addr }),
-            );
-            next_addr = Some(addr);
-            entry = Some(dev);
-        }
-        let total: u64 = flows.iter().map(|&(_, _, _, w)| w).sum();
-        for &(from, to, sp, w) in &flows {
-            let to = if to == from { (to + 1) % 10 } else { to };
-            let ft = flow(&sim, from, to, sp);
-            let mut pkt = Packet::with_weight(ft, 256, w);
-            if let Some(first) = next_addr {
-                pkt.encapsulate(Ipv4Addr(1), first);
+/// Every injected packet is delivered exactly once, whatever chain of
+/// devices it is pushed through, and device hop counts match.
+#[test]
+fn conservation_through_random_chains() {
+    check(
+        "conservation_through_random_chains",
+        &Config::with_cases(64),
+        |rng: &mut StdRng| {
+            let n_flows = rng.gen_range(1usize..20);
+            let flows: Vec<(u32, u32, u16, u64)> = (0..n_flows)
+                .map(|_| {
+                    (
+                        rng.gen_range(0u32..10),
+                        rng.gen_range(0u32..10),
+                        rng.gen_range(1000u16..60000),
+                        rng.gen_range(1u64..200),
+                    )
+                })
+                .collect();
+            (rng.gen_range(0u64..5000), rng.gen_range(0usize..5), flows)
+        },
+        |&(seed, chain_len, ref flows)| {
+            prop_assert!(!flows.is_empty(), "generator always yields one flow");
+            let plan = sdm_topology::campus::campus(seed);
+            let mut sim = Simulator::new(&plan);
+            // build the chain backwards so each hop knows its successor
+            let mut next_addr: Option<Ipv4Addr> = None;
+            let mut entry: Option<sdm_netsim::DeviceId> = None;
+            for i in (0..chain_len).rev() {
+                let router = plan.cores()[(seed as usize + i * 3) % plan.cores().len()];
+                let (dev, addr) = sim.attach(
+                    router,
+                    Attachment::InPath,
+                    Box::new(ChainHop { next: next_addr }),
+                );
+                next_addr = Some(addr);
+                entry = Some(dev);
             }
-            let _ = entry;
-            sim.inject_from_stub(StubId(from), pkt);
-        }
-        sim.run_until_idle();
-        let s = sim.stats();
-        prop_assert_eq!(s.delivered, total);
-        prop_assert_eq!(s.dropped_ttl, 0);
-        prop_assert_eq!(s.unroutable, 0);
-        // every device saw every packet exactly once
-        for d in 0..chain_len {
-            prop_assert_eq!(s.device_received[d], total, "device {}", d);
-        }
-        // per-link loads sum to total link hops
-        let link_sum: u64 = s.link_load.iter().sum();
-        prop_assert_eq!(link_sum, s.link_hops);
-        // per-stub deliveries sum to total deliveries
-        let stub_sum: u64 = s.delivered_per_stub.iter().sum();
-        prop_assert_eq!(stub_sum, s.delivered);
-    }
+            let total: u64 = flows.iter().map(|&(_, _, _, w)| w.max(1)).sum();
+            for &(from, to, sp, w) in flows {
+                let (from, to) = (from % 10, to % 10);
+                let to = if to == from { (to + 1) % 10 } else { to };
+                let ft = flow(&sim, from, to, sp.max(1000));
+                let mut pkt = Packet::with_weight(ft, 256, w.max(1));
+                if let Some(first) = next_addr {
+                    pkt.encapsulate(Ipv4Addr(1), first);
+                }
+                let _ = entry;
+                sim.inject_from_stub(StubId(from), pkt);
+            }
+            sim.run_until_idle();
+            let s = sim.stats();
+            prop_assert_eq!(s.delivered, total);
+            prop_assert_eq!(s.dropped_ttl, 0);
+            prop_assert_eq!(s.unroutable, 0);
+            // every device saw every packet exactly once
+            for d in 0..chain_len {
+                prop_assert_eq!(s.device_received[d], total, "device {}", d);
+            }
+            // per-link loads sum to total link hops
+            let link_sum: u64 = s.link_load.iter().sum();
+            prop_assert_eq!(link_sum, s.link_hops);
+            // per-stub deliveries sum to total deliveries
+            let stub_sum: u64 = s.delivered_per_stub.iter().sum();
+            prop_assert_eq!(stub_sum, s.delivered);
+            Ok(())
+        },
+    );
+}
 
-    /// Fragmentation accounting: packets strictly below MTU never fragment;
-    /// packets above it fragment on every hop they traverse.
-    #[test]
-    fn fragmentation_threshold_is_exact(
-        payload in 100u32..3000,
-        mtu in 200u32..2000,
-    ) {
-        let plan = sdm_topology::campus::campus(1);
-        let mut sim = Simulator::new(&plan);
-        sim.set_mtu(mtu);
-        let ft = flow(&sim, 0, 5, 4444);
-        sim.inject_from_stub(StubId(0), Packet::data(ft, payload));
-        sim.run_until_idle();
-        let s = sim.stats();
-        prop_assert_eq!(s.delivered, 1);
-        let wire = payload + 20;
-        if wire > mtu {
-            prop_assert_eq!(s.frag_events, s.link_hops);
-        } else {
-            prop_assert_eq!(s.frag_events, 0);
-        }
-    }
+/// Fragmentation accounting: packets strictly below MTU never fragment;
+/// packets above it fragment on every hop they traverse.
+#[test]
+fn fragmentation_threshold_is_exact() {
+    check(
+        "fragmentation_threshold_is_exact",
+        &Config::with_cases(64),
+        |rng: &mut StdRng| (rng.gen_range(100u32..3000), rng.gen_range(200u32..2000)),
+        |&(payload, mtu)| {
+            let (payload, mtu) = (payload.max(100), mtu.max(200));
+            let plan = sdm_topology::campus::campus(1);
+            let mut sim = Simulator::new(&plan);
+            sim.set_mtu(mtu);
+            let ft = flow(&sim, 0, 5, 4444);
+            sim.inject_from_stub(StubId(0), Packet::data(ft, payload));
+            sim.run_until_idle();
+            let s = sim.stats();
+            prop_assert_eq!(s.delivered, 1);
+            let wire = payload + 20;
+            if wire > mtu {
+                prop_assert_eq!(s.frag_events, s.link_hops);
+            } else {
+                prop_assert_eq!(s.frag_events, 0);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// TTL bounds the number of router hops a packet can take; with ample
-    /// TTL nothing is dropped on a connected campus.
-    #[test]
-    fn ample_ttl_never_drops(seed in 0u64..2000, from in 0u32..10, to in 0u32..10) {
-        let plan = sdm_topology::campus::campus(seed);
-        let mut sim = Simulator::new(&plan);
-        let to = if to == from { (to + 1) % 10 } else { to };
-        let ft = flow(&sim, from, to, 1234);
-        sim.inject_from_stub(StubId(from), Packet::data(ft, 100));
-        sim.run_until_idle();
-        prop_assert_eq!(sim.stats().delivered, 1);
-        prop_assert_eq!(sim.stats().dropped_ttl, 0);
-        // the shortest stub-to-stub path on this campus is at most 4 hops
-        prop_assert!(sim.stats().link_hops <= 6);
-    }
+/// TTL bounds the number of router hops a packet can take; with ample
+/// TTL nothing is dropped on a connected campus.
+#[test]
+fn ample_ttl_never_drops() {
+    check(
+        "ample_ttl_never_drops",
+        &Config::with_cases(64),
+        |rng: &mut StdRng| {
+            (
+                rng.gen_range(0u64..2000),
+                rng.gen_range(0u32..10),
+                rng.gen_range(0u32..10),
+            )
+        },
+        |&(seed, from, to)| {
+            let (from, to) = (from % 10, to % 10);
+            let plan = sdm_topology::campus::campus(seed);
+            let mut sim = Simulator::new(&plan);
+            let to = if to == from { (to + 1) % 10 } else { to };
+            let ft = flow(&sim, from, to, 1234);
+            sim.inject_from_stub(StubId(from), Packet::data(ft, 100));
+            sim.run_until_idle();
+            prop_assert_eq!(sim.stats().delivered, 1);
+            prop_assert_eq!(sim.stats().dropped_ttl, 0);
+            // the shortest stub-to-stub path on this campus is at most 4 hops
+            prop_assert!(sim.stats().link_hops <= 6);
+            Ok(())
+        },
+    );
 }
 
 /// Deterministic (non-property) engine tests for link failure and tracing.

@@ -3,12 +3,10 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 /// A network function a middlebox can implement — the elements of the
 /// paper's function set Π. The four named variants are the ones used in the
 /// evaluation (§IV.A); `Custom` supports arbitrary additional functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NetworkFunction {
     /// Firewalling (FW).
     Firewall,
@@ -41,6 +39,20 @@ impl NetworkFunction {
             NetworkFunction::Custom(n) => format!("NF{n}"),
         }
     }
+
+    /// Inverse of [`NetworkFunction::abbrev`]; `None` for unknown names.
+    pub fn from_abbrev(s: &str) -> Option<NetworkFunction> {
+        match s {
+            "FW" => Some(NetworkFunction::Firewall),
+            "IDS" => Some(NetworkFunction::Ids),
+            "WP" => Some(NetworkFunction::WebProxy),
+            "TM" => Some(NetworkFunction::TrafficMonitor),
+            other => other
+                .strip_prefix("NF")
+                .and_then(|n| n.parse().ok())
+                .map(NetworkFunction::Custom),
+        }
+    }
 }
 
 impl fmt::Display for NetworkFunction {
@@ -67,7 +79,7 @@ impl fmt::Display for NetworkFunction {
 /// assert_eq!(chain.next_after(1), None);
 /// assert!(ActionList::permit().is_permit());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ActionList(Arc<[NetworkFunction]>);
 
 impl ActionList {

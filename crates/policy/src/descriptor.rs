@@ -3,12 +3,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use sdm_netsim::{FiveTuple, Prefix, Protocol};
 
 /// Match condition on a transport port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortMatch {
     /// Wildcard `*`.
     Any,
@@ -51,7 +49,7 @@ impl From<u16> for PortMatch {
 }
 
 /// Match condition on the transport protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtoMatch {
     /// Wildcard `*`.
     Any,
@@ -102,7 +100,7 @@ impl fmt::Display for ProtoMatch {
 /// };
 /// assert!(d.matches(&pkt));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TrafficDescriptor {
     /// Source address prefix (wildcard: `Prefix::ANY`).
     pub src: Prefix,

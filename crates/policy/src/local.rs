@@ -3,15 +3,13 @@
 //! or the hierarchical trie of [`crate::TrieClassifier`] (§III.D's
 //! software lookup), behind one interface.
 
-use serde::{Deserialize, Serialize};
-
 use sdm_netsim::FiveTuple;
 
 use crate::classifier::TrieClassifier;
 use crate::policy::{Policy, PolicyId, PolicySet, ProjectedPolicies};
 
 /// Which lookup structure a device builds over its local policy table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ClassifierKind {
     /// Linear first-match scan — fine for the small per-node tables of the
     /// paper's evaluation.

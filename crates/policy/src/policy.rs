@@ -2,15 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use sdm_netsim::{FiveTuple, Prefix};
 
 use crate::action::{ActionList, NetworkFunction};
 use crate::descriptor::TrafficDescriptor;
 
 /// Identifier of a policy: its position in the network-wide ordered list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PolicyId(pub u32);
 
 impl PolicyId {
@@ -28,7 +26,7 @@ impl fmt::Display for PolicyId {
 
 /// One network-wide policy: a traffic descriptor plus an ordered action
 /// list, `⟨d_i, a_i⟩` in the paper's notation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Policy {
     /// The match condition.
     pub descriptor: TrafficDescriptor,
@@ -92,7 +90,7 @@ impl fmt::Display for Policy {
 /// let (_, policy) = p.first_match(&external).unwrap();
 /// assert_eq!(policy.actions.len(), 2);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PolicySet {
     policies: Vec<Policy>,
 }
@@ -225,7 +223,7 @@ impl FromIterator<Policy> for PolicySet {
 /// A local policy table: the subset `P_x` of the network-wide policies that
 /// the controller installed at one proxy or middlebox, with global ids and
 /// priorities preserved.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProjectedPolicies {
     entries: Vec<(PolicyId, Policy)>,
 }

@@ -1,189 +1,258 @@
 //! Property tests for the policy crate. The central invariant: the
 //! hierarchical-trie classifier is *exactly* equivalent to the linear
 //! first-match scan over arbitrary policy sets and packets.
+//!
+//! Each case is a shrinkable `(counts…, seed)` tuple; the domain objects
+//! (policy sets, packets) are rebuilt deterministically from the seed
+//! inside the property, so shrinking reduces the instance dimensions.
 
-use proptest::prelude::*;
 use sdm_netsim::{FiveTuple, Ipv4Addr, Prefix, Protocol, SimTime};
 use sdm_policy::{
     ActionList, FlowTable, NetworkFunction, Policy, PolicyId, PolicySet, PortMatch,
     TrafficDescriptor, TrieClassifier,
 };
+use sdm_util::prop::{check, Config};
+use sdm_util::rng::StdRng;
+use sdm_util::{prop_assert, prop_assert_eq};
 
-fn arb_prefix() -> impl Strategy<Value = Prefix> {
-    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::new(Ipv4Addr(addr), len))
+fn gen_prefix(rng: &mut StdRng) -> Prefix {
+    Prefix::new(Ipv4Addr(rng.next_u32()), rng.gen_range(0u8..=32))
 }
 
-fn arb_port_match() -> impl Strategy<Value = PortMatch> {
-    prop_oneof![
-        Just(PortMatch::Any),
-        (0u16..200).prop_map(PortMatch::Exact),
-        (0u16..100, 0u16..100).prop_map(|(a, b)| PortMatch::Range(a.min(b), a.max(b))),
-    ]
+fn gen_port_match(rng: &mut StdRng) -> PortMatch {
+    match rng.gen_range(0u8..3) {
+        0 => PortMatch::Any,
+        1 => PortMatch::Exact(rng.gen_range(0u16..200)),
+        _ => {
+            let a = rng.gen_range(0u16..100);
+            let b = rng.gen_range(0u16..100);
+            PortMatch::Range(a.min(b), a.max(b))
+        }
+    }
 }
 
-fn arb_proto() -> impl Strategy<Value = Protocol> {
-    prop_oneof![Just(Protocol::Tcp), Just(Protocol::Udp)]
+fn gen_proto(rng: &mut StdRng) -> Protocol {
+    if rng.gen_bool(0.5) {
+        Protocol::Tcp
+    } else {
+        Protocol::Udp
+    }
 }
 
-fn arb_descriptor() -> impl Strategy<Value = TrafficDescriptor> {
-    (
-        arb_prefix(),
-        arb_prefix(),
-        arb_port_match(),
-        arb_port_match(),
-        proptest::option::of(arb_proto()),
-    )
-        .prop_map(|(src, dst, sp, dp, proto)| {
-            let mut d = TrafficDescriptor::new()
-                .src_prefix(src)
-                .dst_prefix(dst)
-                .src_port(sp)
-                .dst_port(dp);
-            if let Some(p) = proto {
-                d = d.protocol(p);
-            }
-            d
-        })
+fn gen_descriptor(rng: &mut StdRng) -> TrafficDescriptor {
+    let mut d = TrafficDescriptor::new()
+        .src_prefix(gen_prefix(rng))
+        .dst_prefix(gen_prefix(rng))
+        .src_port(gen_port_match(rng))
+        .dst_port(gen_port_match(rng));
+    if rng.gen_bool(0.5) {
+        d = d.protocol(gen_proto(rng));
+    }
+    d
 }
 
-fn arb_policy() -> impl Strategy<Value = Policy> {
-    (arb_descriptor(), proptest::collection::vec(0u8..4, 0..4)).prop_map(|(d, fs)| {
-        let functions: Vec<NetworkFunction> = fs
-            .into_iter()
-            .map(|i| NetworkFunction::EVALUATION_SET[i as usize])
-            .collect();
-        Policy::new(d, ActionList::chain(functions))
-    })
+fn gen_policy(rng: &mut StdRng) -> Policy {
+    let d = gen_descriptor(rng);
+    let n_fns = rng.gen_range(0usize..4);
+    let functions: Vec<NetworkFunction> = (0..n_fns)
+        .map(|_| NetworkFunction::EVALUATION_SET[rng.gen_range(0usize..4)])
+        .collect();
+    Policy::new(d, ActionList::chain(functions))
 }
 
-fn arb_policy_set() -> impl Strategy<Value = PolicySet> {
-    proptest::collection::vec(arb_policy(), 0..40).prop_map(|v| v.into_iter().collect())
+/// A policy set of exactly `n` policies, deterministic in `seed`.
+fn gen_policy_set(n: usize, seed: u64) -> PolicySet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| gen_policy(&mut rng)).collect()
 }
 
 /// Packets biased towards the same address space the descriptors use, so
 /// matches actually occur.
-fn arb_packet() -> impl Strategy<Value = FiveTuple> {
-    (
-        any::<u32>(),
-        any::<u32>(),
-        0u16..250,
-        0u16..250,
-        arb_proto(),
-        any::<u8>(),
-    )
-        .prop_map(|(src, dst, sp, dp, proto, fuzz)| FiveTuple {
-            // keep some high bits fixed sometimes to hit narrow prefixes
-            src: Ipv4Addr(if fuzz % 3 == 0 { src & 0x00FF_FFFF } else { src }),
-            dst: Ipv4Addr(if fuzz % 2 == 0 { dst & 0x0000_FFFF } else { dst }),
-            src_port: sp,
-            dst_port: dp,
-            proto,
-        })
+fn gen_packet(rng: &mut StdRng) -> FiveTuple {
+    let (src, dst) = (rng.next_u32(), rng.next_u32());
+    let fuzz = rng.gen_range(0u8..6);
+    FiveTuple {
+        // keep some high bits fixed sometimes to hit narrow prefixes
+        src: Ipv4Addr(if fuzz % 3 == 0 { src & 0x00FF_FFFF } else { src }),
+        dst: Ipv4Addr(if fuzz % 2 == 0 { dst & 0x0000_FFFF } else { dst }),
+        src_port: rng.gen_range(0u16..250),
+        dst_port: rng.gen_range(0u16..250),
+        proto: gen_proto(rng),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn gen_packets(n: usize, seed: u64) -> Vec<FiveTuple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| gen_packet(&mut rng)).collect()
+}
 
-    /// The trie classifier and the linear scan agree on every packet.
-    #[test]
-    fn trie_equals_linear_scan(
-        set in arb_policy_set(),
-        packets in proptest::collection::vec(arb_packet(), 1..50),
-    ) {
-        let trie = TrieClassifier::build(&set);
-        for ft in &packets {
-            let expect = set.first_match(ft).map(|(id, _)| id);
-            prop_assert_eq!(trie.classify(ft), expect, "packet {}", ft);
-        }
-    }
-
-    /// first_match always returns the minimal matching id.
-    #[test]
-    fn first_match_is_minimal(
-        set in arb_policy_set(),
-        ft in arb_packet(),
-    ) {
-        let all: Vec<PolicyId> = set
-            .iter()
-            .filter(|(_, p)| p.descriptor.matches(&ft))
-            .map(|(id, _)| id)
-            .collect();
-        prop_assert_eq!(set.first_match(&ft).map(|(id, _)| id), all.first().copied());
-    }
-
-    /// Relevance projections are sound: a packet sourced in a subnet can
-    /// only match a policy that the projection for that subnet contains.
-    #[test]
-    fn projection_soundness(
-        set in arb_policy_set(),
-        ft in arb_packet(),
-        len in 0u8..=24,
-    ) {
-        let subnet = Prefix::new(ft.src, len); // subnet containing the source
-        let ids = set.relevant_to_source(subnet);
-        let proj = set.project(&ids);
-        prop_assert_eq!(
-            set.first_match(&ft).map(|(id, _)| id),
-            proj.first_match(&ft).map(|(id, _)| id)
-        );
-    }
-
-    /// The text format round-trips arbitrary policies exactly.
-    #[test]
-    fn text_format_round_trips(policy_set in arb_policy_set()) {
-        for (_, p) in policy_set.iter() {
-            let line = sdm_policy::policy_to_line(p);
-            let back = sdm_policy::parse_policy_line(&line, 1)
-                .unwrap_or_else(|e| panic!("reparse of '{line}' failed: {e}"));
-            prop_assert_eq!(p, &back, "via '{}'", line);
-        }
-    }
-
-    /// Soundness of the shadowing check: `covered_by` implies actual
-    /// coverage — any packet the covered descriptor matches, the covering
-    /// one matches too.
-    #[test]
-    fn covered_by_is_sound(
-        a in arb_descriptor(),
-        b in arb_descriptor(),
-        packets in proptest::collection::vec(arb_packet(), 30),
-    ) {
-        if a.covered_by(&b) {
+/// The trie classifier and the linear scan agree on every packet.
+#[test]
+fn trie_equals_linear_scan() {
+    check(
+        "trie_equals_linear_scan",
+        &Config::with_cases(256),
+        |rng: &mut StdRng| {
+            (
+                rng.gen_range(0usize..40),
+                rng.gen_range(1usize..50),
+                rng.next_u64(),
+            )
+        },
+        |&(n_policies, n_packets, seed)| {
+            let set = gen_policy_set(n_policies, seed);
+            let packets = gen_packets(n_packets.max(1), seed ^ 0xA5A5);
+            let trie = TrieClassifier::build(&set);
             for ft in &packets {
-                if a.matches(ft) {
-                    prop_assert!(b.matches(ft), "covering descriptor missed {ft}");
+                let expect = set.first_match(ft).map(|(id, _)| id);
+                prop_assert_eq!(trie.classify(ft), expect, "packet {}", ft);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// first_match always returns the minimal matching id.
+#[test]
+fn first_match_is_minimal() {
+    check(
+        "first_match_is_minimal",
+        &Config::with_cases(256),
+        |rng: &mut StdRng| (rng.gen_range(0usize..40), rng.next_u64()),
+        |&(n_policies, seed)| {
+            let set = gen_policy_set(n_policies, seed);
+            let ft = gen_packet(&mut StdRng::seed_from_u64(seed ^ 0xF00D));
+            let all: Vec<PolicyId> = set
+                .iter()
+                .filter(|(_, p)| p.descriptor.matches(&ft))
+                .map(|(id, _)| id)
+                .collect();
+            prop_assert_eq!(set.first_match(&ft).map(|(id, _)| id), all.first().copied());
+            Ok(())
+        },
+    );
+}
+
+/// Relevance projections are sound: a packet sourced in a subnet can
+/// only match a policy that the projection for that subnet contains.
+#[test]
+fn projection_soundness() {
+    check(
+        "projection_soundness",
+        &Config::with_cases(256),
+        |rng: &mut StdRng| {
+            (
+                rng.gen_range(0usize..40),
+                rng.gen_range(0u8..=24),
+                rng.next_u64(),
+            )
+        },
+        |&(n_policies, len, seed)| {
+            let set = gen_policy_set(n_policies, seed);
+            let ft = gen_packet(&mut StdRng::seed_from_u64(seed ^ 0xBEEF));
+            let subnet = Prefix::new(ft.src, len.min(24)); // subnet containing the source
+            let ids = set.relevant_to_source(subnet);
+            let proj = set.project(&ids);
+            prop_assert_eq!(
+                set.first_match(&ft).map(|(id, _)| id),
+                proj.first_match(&ft).map(|(id, _)| id)
+            );
+            Ok(())
+        },
+    );
+}
+
+/// The text format round-trips arbitrary policies exactly.
+#[test]
+fn text_format_round_trips() {
+    check(
+        "text_format_round_trips",
+        &Config::with_cases(256),
+        |rng: &mut StdRng| (rng.gen_range(0usize..40), rng.next_u64()),
+        |&(n_policies, seed)| {
+            let policy_set = gen_policy_set(n_policies, seed);
+            for (_, p) in policy_set.iter() {
+                let line = sdm_policy::policy_to_line(p);
+                let back = sdm_policy::parse_policy_line(&line, 1)
+                    .unwrap_or_else(|e| panic!("reparse of '{line}' failed: {e}"));
+                prop_assert_eq!(p, &back, "via '{}'", line);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Soundness of the shadowing check: `covered_by` implies actual
+/// coverage — any packet the covered descriptor matches, the covering
+/// one matches too.
+#[test]
+fn covered_by_is_sound() {
+    check(
+        "covered_by_is_sound",
+        &Config::with_cases(256),
+        |rng: &mut StdRng| rng.next_u64(),
+        |&seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = gen_descriptor(&mut rng);
+            let b = gen_descriptor(&mut rng);
+            let packets = gen_packets(30, seed ^ 0xCAFE);
+            if a.covered_by(&b) {
+                for ft in &packets {
+                    if a.matches(ft) {
+                        prop_assert!(b.matches(ft), "covering descriptor missed {ft}");
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Soundness of `find_shadowed`: a flagged policy can truly never be
-    /// the first match.
-    #[test]
-    fn shadowed_policies_never_fire(
-        set in arb_policy_set(),
-        packets in proptest::collection::vec(arb_packet(), 40),
-    ) {
-        let shadowed: Vec<PolicyId> =
-            set.find_shadowed().into_iter().map(|(s, _)| s).collect();
-        for ft in &packets {
-            if let Some((id, _)) = set.first_match(ft) {
-                prop_assert!(!shadowed.contains(&id), "shadowed {id} fired for {ft}");
+/// Soundness of `find_shadowed`: a flagged policy can truly never be
+/// the first match.
+#[test]
+fn shadowed_policies_never_fire() {
+    check(
+        "shadowed_policies_never_fire",
+        &Config::with_cases(256),
+        |rng: &mut StdRng| (rng.gen_range(0usize..40), rng.next_u64()),
+        |&(n_policies, seed)| {
+            let set = gen_policy_set(n_policies, seed);
+            let packets = gen_packets(40, seed ^ 0xD00D);
+            let shadowed: Vec<PolicyId> =
+                set.find_shadowed().into_iter().map(|(s, _)| s).collect();
+            for ft in &packets {
+                if let Some((id, _)) = set.first_match(ft) {
+                    prop_assert!(!shadowed.contains(&id), "shadowed {id} fired for {ft}");
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Flow-table round trip: whatever is inserted is returned while fresh,
-    /// gone once expired.
-    #[test]
-    fn flow_table_soft_state(
-        ft in arb_packet(),
-        ttl in 1u64..1000,
-        gap in 0u64..2000,
-    ) {
-        let mut table = FlowTable::new(ttl);
-        table.insert_positive(ft, PolicyId(0), ActionList::permit(), SimTime(0));
-        let found = table.lookup(&ft, SimTime(gap), 1).is_some();
-        prop_assert_eq!(found, gap <= ttl);
-    }
+/// Flow-table round trip: whatever is inserted is returned while fresh,
+/// gone once expired.
+#[test]
+fn flow_table_soft_state() {
+    check(
+        "flow_table_soft_state",
+        &Config::with_cases(256),
+        |rng: &mut StdRng| {
+            (
+                rng.gen_range(1u64..1000),
+                rng.gen_range(0u64..2000),
+                rng.next_u64(),
+            )
+        },
+        |&(ttl, gap, seed)| {
+            let ttl = ttl.max(1);
+            let ft = gen_packet(&mut StdRng::seed_from_u64(seed));
+            let mut table = FlowTable::new(ttl);
+            table.insert_positive(ft, PolicyId(0), ActionList::permit(), SimTime(0));
+            let found = table.lookup(&ft, SimTime(gap), 1).is_some();
+            prop_assert_eq!(found, gap <= ttl);
+            Ok(())
+        },
+    );
 }

@@ -8,9 +8,7 @@
 //! redundancy pattern) plus a few seeded chords, and every edge router is
 //! dual-homed to two distinct cores.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use sdm_util::rng::{SliceRandom, StdRng};
 
 use crate::graph::{NodeKind, Topology};
 use crate::plan::NetworkPlan;

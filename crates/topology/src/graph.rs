@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a node (router or gateway) inside a [`Topology`].
 ///
 /// Node ids are dense indices assigned in insertion order; they are only
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// let id = t.add_node(NodeKind::CoreRouter, "c0");
 /// assert_eq!(id.index(), 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
@@ -43,7 +41,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of an undirected link inside a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub(crate) u32);
 
 impl LinkId {
@@ -71,7 +69,7 @@ impl fmt::Display for LinkId {
 /// networks from *core routers* that interconnect them; gateways connect the
 /// enterprise to the Internet. Only edge routers host stub subnets (and thus
 /// policy proxies).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// Internet gateway of the enterprise network.
     Gateway,
@@ -127,14 +125,14 @@ impl fmt::Display for TopologyError {
 
 impl std::error::Error for TopologyError {}
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct NodeInfo {
     kind: NodeKind,
     name: String,
 }
 
 /// An undirected link with an OSPF-style additive cost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Link {
     pub a: NodeId,
     pub b: NodeId,
@@ -161,7 +159,7 @@ pub(crate) struct Link {
 /// assert_eq!(t.neighbors(e0).count(), 1);
 /// # Ok::<(), sdm_topology::TopologyError>(())
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Topology {
     nodes: Vec<NodeInfo>,
     links: Vec<Link>,

@@ -1,8 +1,6 @@
 //! A generated network plan: the graph plus the role assignment the
 //! generators produced (gateways, core routers, edge routers).
 
-use serde::{Deserialize, Serialize};
-
 use crate::graph::{NodeId, NodeKind, Topology};
 
 /// A topology together with its node-role inventory, as produced by the
@@ -20,7 +18,7 @@ use crate::graph::{NodeId, NodeKind, Topology};
 /// assert_eq!(plan.edges().len(), 10);
 /// assert!(plan.topology().is_connected());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetworkPlan {
     topology: Topology,
     gateways: Vec<NodeId>,

@@ -1,143 +1,209 @@
 //! Property-based tests for the topology substrate: shortest-path routing
 //! invariants on random connected graphs, and generator invariants.
 
-use proptest::prelude::*;
 use sdm_topology::waxman::{waxman_with, WaxmanConfig};
 use sdm_topology::{NodeId, NodeKind, Topology};
+use sdm_util::prop::{check, Config};
+use sdm_util::rng::StdRng;
+use sdm_util::{prop_assert, prop_assert_eq};
 
-/// Builds a random connected graph: a random spanning tree plus extra links.
-fn arb_connected_graph() -> impl Strategy<Value = Topology> {
-    (2usize..24, any::<u64>()).prop_map(|(n, seed)| {
-        let mut s = seed;
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 33) as usize
-        };
-        let mut t = Topology::new();
-        let ids: Vec<NodeId> = (0..n)
-            .map(|i| t.add_node(NodeKind::CoreRouter, format!("n{i}")))
-            .collect();
-        // spanning tree
-        for i in 1..n {
-            let parent = next() % i;
+/// Deterministically expands `(n, seed)` into a random connected graph:
+/// a random spanning tree plus extra links. Rebuilt inside each property,
+/// so the harness shrinks the node count and seed.
+fn connected_graph(n: usize, seed: u64) -> Topology {
+    let n = n.max(2);
+    let mut s = seed;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 33) as usize
+    };
+    let mut t = Topology::new();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| t.add_node(NodeKind::CoreRouter, format!("n{i}")))
+        .collect();
+    // spanning tree
+    for i in 1..n {
+        let parent = next() % i;
+        let cost = 1 + (next() % 10) as u32;
+        t.add_link(ids[i], ids[parent], cost).unwrap();
+    }
+    // extra links
+    let extra = next() % (n * 2);
+    for _ in 0..extra {
+        let a = ids[next() % n];
+        let b = ids[next() % n];
+        if a != b && !t.has_link(a, b) {
             let cost = 1 + (next() % 10) as u32;
-            t.add_link(ids[i], ids[parent], cost).unwrap();
+            t.add_link(a, b, cost).unwrap();
         }
-        // extra links
-        let extra = next() % (n * 2);
-        for _ in 0..extra {
-            let a = ids[next() % n];
-            let b = ids[next() % n];
-            if a != b && !t.has_link(a, b) {
-                let cost = 1 + (next() % 10) as u32;
-                t.add_link(a, b, cost).unwrap();
-            }
-        }
-        t
-    })
+    }
+    t
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_graph_input(rng: &mut StdRng) -> (usize, u64) {
+    (rng.gen_range(2usize..24), rng.next_u64())
+}
 
-    /// Shortest-path distances are symmetric on an undirected graph.
-    #[test]
-    fn distances_symmetric(t in arb_connected_graph()) {
-        let rt = t.routing_tables();
-        for a in t.nodes() {
-            for b in t.nodes() {
-                prop_assert_eq!(rt.dist(a, b), rt.dist(b, a));
-            }
-        }
-    }
-
-    /// Distances obey the triangle inequality.
-    #[test]
-    fn triangle_inequality(t in arb_connected_graph()) {
-        let rt = t.routing_tables();
-        let nodes: Vec<_> = t.nodes().collect();
-        for &a in &nodes {
-            for &b in &nodes {
-                for &c in &nodes {
-                    let (ab, bc, ac) = (
-                        rt.dist(a, b).unwrap(),
-                        rt.dist(b, c).unwrap(),
-                        rt.dist(a, c).unwrap(),
-                    );
-                    prop_assert!(ac <= ab + bc);
+/// Shortest-path distances are symmetric on an undirected graph.
+#[test]
+fn distances_symmetric() {
+    check(
+        "distances_symmetric",
+        &Config::with_cases(64),
+        arb_graph_input,
+        |&(n, seed)| {
+            let t = connected_graph(n, seed);
+            let rt = t.routing_tables();
+            for a in t.nodes() {
+                for b in t.nodes() {
+                    prop_assert_eq!(rt.dist(a, b), rt.dist(b, a));
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Reconstructed paths are loop-free, start/end correctly, follow real
-    /// links, and their link costs sum to the reported distance.
-    #[test]
-    fn paths_are_valid(t in arb_connected_graph()) {
-        let rt = t.routing_tables();
-        let nodes: Vec<_> = t.nodes().collect();
-        for &a in &nodes {
-            for &b in &nodes {
-                let p = rt.path(a, b).unwrap();
-                prop_assert_eq!(*p.nodes().first().unwrap(), a);
-                prop_assert_eq!(*p.nodes().last().unwrap(), b);
-                let mut seen = std::collections::HashSet::new();
-                for &n in p.nodes() {
-                    prop_assert!(seen.insert(n), "loop in path");
+/// Distances obey the triangle inequality.
+#[test]
+fn triangle_inequality() {
+    check(
+        "triangle_inequality",
+        &Config::with_cases(64),
+        arb_graph_input,
+        |&(n, seed)| {
+            let t = connected_graph(n, seed);
+            let rt = t.routing_tables();
+            let nodes: Vec<_> = t.nodes().collect();
+            for &a in &nodes {
+                for &b in &nodes {
+                    for &c in &nodes {
+                        let (ab, bc, ac) = (
+                            rt.dist(a, b).unwrap(),
+                            rt.dist(b, c).unwrap(),
+                            rt.dist(a, c).unwrap(),
+                        );
+                        prop_assert!(ac <= ab + bc);
+                    }
                 }
-                let mut cost = 0u32;
-                for w in p.nodes().windows(2) {
-                    let link_cost = t
-                        .neighbors(w[0])
-                        .find(|&(m, _)| m == w[1])
-                        .map(|(_, c)| c);
-                    prop_assert!(link_cost.is_some(), "path uses non-existent link");
-                    cost += link_cost.unwrap();
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Reconstructed paths are loop-free, start/end correctly, follow real
+/// links, and their link costs sum to the reported distance.
+#[test]
+fn paths_are_valid() {
+    check(
+        "paths_are_valid",
+        &Config::with_cases(64),
+        arb_graph_input,
+        |&(n, seed)| {
+            let t = connected_graph(n, seed);
+            let rt = t.routing_tables();
+            let nodes: Vec<_> = t.nodes().collect();
+            for &a in &nodes {
+                for &b in &nodes {
+                    let p = rt.path(a, b).unwrap();
+                    prop_assert_eq!(*p.nodes().first().unwrap(), a);
+                    prop_assert_eq!(*p.nodes().last().unwrap(), b);
+                    let mut seen = std::collections::HashSet::new();
+                    for &n in p.nodes() {
+                        prop_assert!(seen.insert(n), "loop in path");
+                    }
+                    let mut cost = 0u32;
+                    for w in p.nodes().windows(2) {
+                        let link_cost = t
+                            .neighbors(w[0])
+                            .find(|&(m, _)| m == w[1])
+                            .map(|(_, c)| c);
+                        prop_assert!(link_cost.is_some(), "path uses non-existent link");
+                        cost += link_cost.unwrap();
+                    }
+                    prop_assert_eq!(cost, p.cost());
+                    prop_assert_eq!(Some(p.cost()), rt.dist(a, b));
                 }
-                prop_assert_eq!(cost, p.cost());
-                prop_assert_eq!(Some(p.cost()), rt.dist(a, b));
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Greedy next-hop forwarding strictly decreases the distance to the
-    /// destination — i.e. hop-by-hop forwarding cannot loop.
-    #[test]
-    fn next_hop_decreases_distance(t in arb_connected_graph()) {
-        let rt = t.routing_tables();
-        let nodes: Vec<_> = t.nodes().collect();
-        for &a in &nodes {
-            for &b in &nodes {
-                if a == b { continue; }
-                let nh = rt.next_hop(a, b).unwrap();
-                prop_assert!(rt.dist(nh, b).unwrap() < rt.dist(a, b).unwrap());
+/// Greedy next-hop forwarding strictly decreases the distance to the
+/// destination — i.e. hop-by-hop forwarding cannot loop.
+#[test]
+fn next_hop_decreases_distance() {
+    check(
+        "next_hop_decreases_distance",
+        &Config::with_cases(64),
+        arb_graph_input,
+        |&(n, seed)| {
+            let t = connected_graph(n, seed);
+            let rt = t.routing_tables();
+            let nodes: Vec<_> = t.nodes().collect();
+            for &a in &nodes {
+                for &b in &nodes {
+                    if a == b {
+                        continue;
+                    }
+                    let nh = rt.next_hop(a, b).unwrap();
+                    prop_assert!(rt.dist(nh, b).unwrap() < rt.dist(a, b).unwrap());
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// k_closest returns candidates sorted by distance and of the right size.
-    #[test]
-    fn k_closest_sorted(t in arb_connected_graph(), k in 1usize..6) {
-        let rt = t.routing_tables();
-        let nodes: Vec<_> = t.nodes().collect();
-        let from = nodes[0];
-        let got = rt.k_closest(from, nodes.iter().copied().skip(1), k);
-        prop_assert_eq!(got.len(), k.min(nodes.len() - 1));
-        for w in got.windows(2) {
-            prop_assert!(rt.dist(from, w[0]).unwrap() <= rt.dist(from, w[1]).unwrap());
-        }
-    }
+/// k_closest returns candidates sorted by distance and of the right size.
+#[test]
+fn k_closest_sorted() {
+    check(
+        "k_closest_sorted",
+        &Config::with_cases(64),
+        |rng: &mut StdRng| (rng.gen_range(2usize..24), rng.next_u64(), rng.gen_range(1usize..6)),
+        |&(n, seed, k)| {
+            let k = k.max(1);
+            let t = connected_graph(n, seed);
+            let rt = t.routing_tables();
+            let nodes: Vec<_> = t.nodes().collect();
+            let from = nodes[0];
+            let got = rt.k_closest(from, nodes.iter().copied().skip(1), k);
+            prop_assert_eq!(got.len(), k.min(nodes.len() - 1));
+            for w in got.windows(2) {
+                prop_assert!(rt.dist(from, w[0]).unwrap() <= rt.dist(from, w[1]).unwrap());
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Waxman generation is connected and respects counts for any valid size.
-    #[test]
-    fn waxman_always_connected(cores in 2usize..12, per_core in 1usize..5, seed in any::<u64>()) {
-        let cfg = WaxmanConfig {
-            cores,
-            edges: cores * per_core,
-            ..WaxmanConfig::default()
-        };
-        let plan = waxman_with(&cfg, seed);
-        prop_assert!(plan.topology().is_connected());
-        prop_assert_eq!(plan.edges().len(), cores * per_core);
-    }
+/// Waxman generation is connected and respects counts for any valid size.
+#[test]
+fn waxman_always_connected() {
+    check(
+        "waxman_always_connected",
+        &Config::with_cases(64),
+        |rng: &mut StdRng| {
+            (
+                rng.gen_range(2usize..12),
+                rng.gen_range(1usize..5),
+                rng.next_u64(),
+            )
+        },
+        |&(cores, per_core, seed)| {
+            let (cores, per_core) = (cores.max(2), per_core.max(1));
+            let cfg = WaxmanConfig {
+                cores,
+                edges: cores * per_core,
+                ..WaxmanConfig::default()
+            };
+            let plan = waxman_with(&cfg, seed);
+            prop_assert!(plan.topology().is_connected());
+            prop_assert_eq!(plan.edges().len(), cores * per_core);
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,245 @@
+//! A micro-benchmark timing harness replacing `criterion`.
+//!
+//! Each benchmark auto-calibrates a batch size until one batch takes at
+//! least a minimum wall time, warms up, then records N timed samples and
+//! reports per-iteration mean / median / p95 / min. `Runner::finish`
+//! merges the group's results into a JSON file (default
+//! `results/BENCH_baseline.json`, override with `SDM_BENCH_OUT`), which is
+//! the committed perf-trajectory baseline future PRs compare against.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `SDM_BENCH_OUT` — output JSON path;
+//! * `SDM_BENCH_SAMPLES` — timed samples per benchmark (default 20);
+//! * `SDM_BENCH_MIN_SAMPLE_MS` — minimum batch wall time (default 5 ms).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (unique within its group).
+    pub name: String,
+    /// Iterations per timed sample.
+    pub batch: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Mean ns/iteration over samples.
+    pub mean_ns: f64,
+    /// Median ns/iteration.
+    pub median_ns: f64,
+    /// 95th-percentile ns/iteration.
+    pub p95_ns: f64,
+    /// Fastest sample's ns/iteration.
+    pub min_ns: f64,
+}
+
+impl BenchResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("batch", Json::from(self.batch)),
+            ("samples", Json::from(self.samples)),
+            ("mean_ns", Json::Num(round2(self.mean_ns))),
+            ("median_ns", Json::Num(round2(self.median_ns))),
+            ("p95_ns", Json::Num(round2(self.p95_ns))),
+            ("min_ns", Json::Num(round2(self.min_ns))),
+        ])
+    }
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of benchmarks; mirrors criterion's `benchmark_group`.
+pub struct Runner {
+    group: String,
+    results: Vec<BenchResult>,
+    samples: usize,
+    min_sample_ns: u128,
+}
+
+impl Runner {
+    /// A new group. Reads the `SDM_BENCH_*` environment knobs.
+    pub fn new(group: &str) -> Runner {
+        let samples = std::env::var("SDM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        let min_ms: u64 = std::env::var("SDM_BENCH_MIN_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5);
+        eprintln!("## bench group `{group}`");
+        Runner {
+            group: group.to_string(),
+            results: Vec::new(),
+            samples: samples.max(2),
+            min_sample_ns: (min_ms as u128) * 1_000_000,
+        }
+    }
+
+    /// Times `f`, printing one line and recording the result.
+    ///
+    /// Calibration doubles the batch size until one batch reaches the
+    /// minimum sample time (the calibration runs double as warmup), then
+    /// `samples` batches are timed.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &BenchResult {
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos();
+            if elapsed >= self.min_sample_ns || batch >= (1 << 24) {
+                break;
+            }
+            // jump straight towards the target when far away
+            let factor = if elapsed == 0 {
+                16
+            } else {
+                ((self.min_sample_ns / elapsed) + 1).clamp(2, 16) as u64
+            };
+            batch = batch.saturating_mul(factor);
+        }
+
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    std::hint::black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let median = per_iter[per_iter.len() / 2];
+        let p95 = per_iter[((per_iter.len() as f64 * 0.95) as usize).min(per_iter.len() - 1)];
+        let min = per_iter[0];
+        let result = BenchResult {
+            name: name.to_string(),
+            batch,
+            samples: per_iter.len(),
+            mean_ns: mean,
+            median_ns: median,
+            p95_ns: p95,
+            min_ns: min,
+        };
+        eprintln!(
+            "{:<40} median {:>12}  p95 {:>12}  (batch {batch}, {} samples)",
+            format!("{}/{}", self.group, name),
+            human(median),
+            human(p95),
+            per_iter.len()
+        );
+        self.results.push(result);
+        self.results.last().unwrap()
+    }
+
+    /// The results recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Merges this group's results into the baseline JSON file and prints
+    /// its path. Call exactly once, last.
+    pub fn finish(self) {
+        let path = out_path();
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        // read-merge-write so sequentially run bench binaries accumulate
+        let mut root = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| Json::parse(&text).ok())
+            .unwrap_or(Json::Obj(Vec::new()));
+        let group_obj = Json::Obj(
+            self.results
+                .iter()
+                .map(|r| (r.name.clone(), r.to_json()))
+                .collect(),
+        );
+        match &mut root {
+            Json::Obj(pairs) => {
+                if let Some(slot) = pairs.iter_mut().find(|(k, _)| *k == self.group) {
+                    slot.1 = group_obj;
+                } else {
+                    pairs.push((self.group.clone(), group_obj));
+                }
+            }
+            other => *other = Json::Obj(vec![(self.group.clone(), group_obj)]),
+        }
+        match std::fs::write(&path, root.to_string_pretty() + "\n") {
+            Ok(()) => eprintln!("wrote {} result(s) to {}", self.results.len(), path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn out_path() -> PathBuf {
+    if let Ok(p) = std::env::var("SDM_BENCH_OUT") {
+        return PathBuf::from(p);
+    }
+    workspace_root().join("results").join("BENCH_baseline.json")
+}
+
+/// Outermost ancestor of the current directory containing a `Cargo.toml`.
+/// `cargo bench` runs each bench binary with the *package* directory as
+/// cwd, but the committed baseline belongs at the workspace root.
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut root = cwd.clone();
+    for dir in cwd.ancestors() {
+        if dir.join("Cargo.toml").is_file() {
+            root = dir.to_path_buf();
+        }
+    }
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_sane_stats() {
+        // isolate the output file so the test never touches the real baseline
+        let dir = std::env::temp_dir().join("sdm-util-bench-test");
+        let file = dir.join("out.json");
+        std::env::set_var("SDM_BENCH_OUT", &file);
+        std::env::set_var("SDM_BENCH_SAMPLES", "5");
+        std::env::set_var("SDM_BENCH_MIN_SAMPLE_MS", "1");
+
+        let mut r = Runner::new("selftest");
+        let res = r.bench("sum", || (0..1000u64).sum::<u64>()).clone();
+        assert!(res.median_ns > 0.0);
+        assert!(res.min_ns <= res.median_ns && res.median_ns <= res.p95_ns);
+        assert!(res.batch >= 1);
+        r.finish();
+
+        let text = std::fs::read_to_string(&file).unwrap();
+        let v = Json::parse(&text).unwrap();
+        assert!(v.get("selftest").unwrap().get("sum").unwrap().get("median_ns").is_some());
+        let _ = std::fs::remove_file(&file);
+        std::env::remove_var("SDM_BENCH_OUT");
+        std::env::remove_var("SDM_BENCH_SAMPLES");
+        std::env::remove_var("SDM_BENCH_MIN_SAMPLE_MS");
+    }
+}

@@ -1,0 +1,31 @@
+//! Hermetic in-tree utilities for the SDM workspace.
+//!
+//! This crate exists so the whole reproduction builds with **zero network
+//! access and zero third-party crates** (`cargo build --release --offline`).
+//! It replaces, module by module, what the workspace previously pulled from
+//! crates.io:
+//!
+//! | module | replaces | provides |
+//! |---|---|---|
+//! | [`rng`] | `rand` | seeded SplitMix64/Xoshiro256** PRNG, `gen_range`, shuffle, sampling |
+//! | [`prop`] | `proptest` | seeded case generation, shrinking by halving/truncation, failure-seed reporting |
+//! | [`bench`] | `criterion` | warmup + timed samples, median/p95, JSON emission (`BENCH_baseline.json`) |
+//! | [`json`] | `serde` | a tiny JSON value type, writer and recursive-descent parser |
+//! | [`par`] | `crossbeam` | scoped-thread ordered parallel map |
+//! | [`sync`] | `parking_lot` | `std::sync::Mutex` wrapper with a non-poisoning `lock()` |
+//!
+//! Everything is deterministic per fixed seed, `#![forbid(unsafe_code)]`,
+//! and uses the standard library only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod par;
+pub mod prop;
+pub mod rng;
+pub mod sync;
+
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use rng::{SliceRandom, StdRng};

@@ -1,0 +1,111 @@
+//! Scoped-thread parallel map, replacing the `crossbeam` dependency for
+//! experiment sweeps. Built on `std::thread::scope`, so borrowed inputs
+//! need no `'static` bound and no unsafe code.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of worker threads a sweep should use: `available_parallelism`
+/// capped by the item count (and `SDM_PAR_THREADS` when set, so CI can
+/// force sequential runs).
+pub fn thread_count(items: usize) -> usize {
+    let hw = std::env::var("SDM_PAR_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    hw.clamp(1, items.max(1))
+}
+
+/// Applies `f` to every item on a scoped thread pool and returns the
+/// results **in input order**. `f` receives `(index, &item)`.
+///
+/// Items are dealt round-robin across workers, which balances sweeps whose
+/// cost grows monotonically with the index (e.g. traffic volumes).
+///
+/// # Example
+///
+/// ```
+/// let squares = sdm_util::par::par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+///
+/// # Panics
+///
+/// Propagates the first panic of any worker.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = thread_count(items.len());
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut indexed: Vec<(usize, R)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                scope.spawn(move || {
+                    items
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(i, t)| (i, f(i, t)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let input: Vec<u64> = (0..100).collect();
+        let out = par_map(&input, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 3
+        });
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn actually_runs_concurrently_when_allowed() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let peak = AtomicUsize::new(0);
+        let live = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..8).collect();
+        par_map(&items, |_, _| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        // with >= 2 hardware threads at least two items overlap
+        if thread_count(items.len()) >= 2 {
+            assert!(peak.load(Ordering::SeqCst) >= 2);
+        }
+    }
+}

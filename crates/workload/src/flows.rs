@@ -1,17 +1,15 @@
 //! Flow generation: power-law sizes, one third of flows per policy class
 //! (§IV.A), each flow synthesized to first-match its intended policy.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
+use sdm_util::json::{FromJson, Json, JsonError, ToJson};
+use sdm_util::rng::StdRng;
 use sdm_netsim::{AddressPlan, FiveTuple, Protocol, StubId};
 use sdm_policy::PolicyId;
 
 use crate::policies::GeneratedPolicies;
 
 /// One generated flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flow {
     /// The flow identifier (matches `policy` as its first match).
     pub five_tuple: FiveTuple,
@@ -22,7 +20,7 @@ pub struct Flow {
 }
 
 /// Parameters of the flow generator (§IV.A defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadConfig {
     /// Number of flows to generate (the paper sweeps 30k–300k).
     pub flows: usize,
@@ -53,6 +51,40 @@ impl Default for WorkloadConfig {
     }
 }
 
+impl ToJson for WorkloadConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("flows", Json::from(self.flows)),
+            ("size_min", Json::from(self.size_min)),
+            ("size_max", Json::from(self.size_max)),
+            ("alpha", Json::Num(self.alpha)),
+            ("payload", Json::from(self.payload)),
+            ("seed", Json::from(self.seed)),
+        ])
+    }
+}
+
+impl FromJson for WorkloadConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let uint = |key: &str| {
+            v.req(key)?
+                .as_u64()
+                .ok_or_else(|| JsonError::msg(format!("{key} must be a non-negative integer")))
+        };
+        Ok(WorkloadConfig {
+            flows: uint("flows")? as usize,
+            size_min: uint("size_min")?,
+            size_max: uint("size_max")?,
+            alpha: v
+                .req("alpha")?
+                .as_f64()
+                .ok_or_else(|| JsonError::msg("alpha must be a number"))?,
+            payload: uint("payload")? as u32,
+            seed: uint("seed")?,
+        })
+    }
+}
+
 /// Bounded-Pareto sample via inverse CDF.
 fn pareto_size(rng: &mut StdRng, cfg: &WorkloadConfig) -> u64 {
     let (l, h, a) = (cfg.size_min as f64, cfg.size_max as f64, cfg.alpha);
@@ -66,7 +98,7 @@ fn pareto_size(rng: &mut StdRng, cfg: &WorkloadConfig) -> u64 {
 /// An ephemeral source port; unique-ish per flow so 5-tuples rarely
 /// collide.
 fn ephemeral_port(rng: &mut StdRng) -> u16 {
-    rng.gen_range(10_000..60_000)
+    rng.gen_range(10_000u16..60_000)
 }
 
 fn random_other_stub(rng: &mut StdRng, n: u32, not: StubId) -> StubId {
@@ -212,8 +244,8 @@ fn generate_into(
             (ephemeral_port(rng), m.service)
         };
         let five_tuple = FiveTuple {
-            src: addrs.host(src_stub, rng.gen_range(0..1000)),
-            dst: addrs.host(dst_stub, rng.gen_range(0..1000)),
+            src: addrs.host(src_stub, rng.gen_range(0u32..1000)),
+            dst: addrs.host(dst_stub, rng.gen_range(0u32..1000)),
             src_port,
             dst_port,
             proto: Protocol::Tcp,
@@ -233,6 +265,19 @@ mod tests {
     use super::*;
     use crate::policies::{evaluation_policies, PolicyClass, PolicyClassCounts};
     use sdm_topology::campus::campus;
+
+    #[test]
+    fn workload_config_json_round_trip() {
+        let cfg = WorkloadConfig::default();
+        let text = cfg.to_json().to_string_pretty();
+        let back = WorkloadConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn workload_config_json_rejects_missing_field() {
+        assert!(WorkloadConfig::from_json(&Json::parse("{}").unwrap()).is_err());
+    }
 
     fn world() -> (GeneratedPolicies, AddressPlan) {
         let plan = campus(1);

@@ -1,16 +1,14 @@
 //! Generation of the three policy classes of §IV.A.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
+use sdm_util::json::{FromJson, Json, JsonError, ToJson};
+use sdm_util::rng::StdRng;
 use sdm_netsim::{AddressPlan, StubId};
 use sdm_policy::{
     ActionList, NetworkFunction, Policy, PolicyId, PolicySet, TrafficDescriptor,
 };
 
 /// The class of a generated policy (§IV.A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyClass {
     /// Wildcard sources to one destination subnet/service: `FW → IDS`.
     ManyToOne,
@@ -39,7 +37,7 @@ impl PolicyClass {
 }
 
 /// How many policies of each class to generate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PolicyClassCounts {
     /// Many-to-one policies.
     pub many_to_one: usize,
@@ -64,9 +62,39 @@ impl Default for PolicyClassCounts {
     }
 }
 
+impl ToJson for PolicyClassCounts {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("many_to_one", Json::from(self.many_to_one)),
+            ("one_to_many", Json::from(self.one_to_many)),
+            ("one_to_one", Json::from(self.one_to_one)),
+            ("companions", Json::from(self.companions)),
+        ])
+    }
+}
+
+impl FromJson for PolicyClassCounts {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let count = |key: &str| {
+            v.req(key)?
+                .as_usize()
+                .ok_or_else(|| JsonError::msg(format!("{key} must be a non-negative integer")))
+        };
+        Ok(PolicyClassCounts {
+            many_to_one: count("many_to_one")?,
+            one_to_many: count("one_to_many")?,
+            one_to_one: count("one_to_one")?,
+            companions: v
+                .req("companions")?
+                .as_bool()
+                .ok_or_else(|| JsonError::msg("companions must be a boolean"))?,
+        })
+    }
+}
+
 /// Metadata describing one generated policy: its class and the concrete
 /// endpoints the generator chose (used to synthesize matching flows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PolicyEndpoints {
     /// The class.
     pub class: PolicyClass,
@@ -79,7 +107,7 @@ pub struct PolicyEndpoints {
 }
 
 /// A generated policy set plus per-policy metadata.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GeneratedPolicies {
     /// The network-wide ordered policy list.
     pub set: PolicySet,
@@ -244,6 +272,19 @@ mod tests {
     use sdm_netsim::AddressPlan;
     use sdm_policy::NetworkFunction::*;
     use sdm_topology::campus::campus;
+
+    #[test]
+    fn class_counts_json_round_trip() {
+        let counts = PolicyClassCounts {
+            many_to_one: 3,
+            one_to_many: 7,
+            one_to_one: 11,
+            companions: true,
+        };
+        let text = counts.to_json().to_string();
+        let back = PolicyClassCounts::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, counts);
+    }
 
     fn gen() -> GeneratedPolicies {
         let plan = campus(1);

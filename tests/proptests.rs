@@ -1,8 +1,6 @@
 //! Workspace-level property tests: invariants of the whole enforcement
 //! system on randomized small worlds.
 
-use proptest::prelude::*;
-
 use sdm::core::{
     Controller, Deployment, EnforcementOptions, KConfig, LbOptions, MiddleboxSpec,
     Strategy as Steering,
@@ -10,6 +8,9 @@ use sdm::core::{
 use sdm::netsim::{FiveTuple, Protocol, StubId};
 use sdm::policy::{ActionList, NetworkFunction, Policy, PolicySet, TrafficDescriptor};
 use sdm::topology::campus::campus;
+use sdm::util::prop::{check, Config};
+use sdm::util::rng::StdRng;
+use sdm::util::{prop_assert, prop_assert_eq};
 
 use NetworkFunction::*;
 
@@ -23,22 +24,44 @@ struct SmallWorld {
     flows: Vec<(u32, u32, u16, u8, u64)>,
 }
 
-fn arb_world() -> impl Strategy<Value = SmallWorld> {
-    (
-        any::<u64>(),
-        [1usize..=3, 1usize..=3, 1usize..=3, 1usize..=3],
-        1usize..=4,
-        proptest::collection::vec(
-            (0u32..10, 0u32..10, 1000u16..60000, 0u8..3, 1u64..500),
-            1..40,
-        ),
-    )
-        .prop_map(|(seed, mbox_counts, k, flows)| SmallWorld {
-            seed,
-            mbox_counts,
-            k,
-            flows,
+fn arb_world(rng: &mut StdRng) -> (u64, [usize; 4], usize, Vec<(u32, u32, u16, u8, u64)>) {
+    let n_flows = rng.gen_range(1usize..40);
+    let flows = (0..n_flows)
+        .map(|_| {
+            (
+                rng.gen_range(0u32..10),
+                rng.gen_range(0u32..10),
+                rng.gen_range(1000u16..60000),
+                rng.gen_range(0u8..3),
+                rng.gen_range(1u64..500),
+            )
         })
+        .collect();
+    (
+        rng.next_u64(),
+        [
+            rng.gen_range(1usize..=3),
+            rng.gen_range(1usize..=3),
+            rng.gen_range(1usize..=3),
+            rng.gen_range(1usize..=3),
+        ],
+        rng.gen_range(1usize..=4),
+        flows,
+    )
+}
+
+/// Re-validates a (possibly shrunk) raw case into the generator's domain.
+fn world_of(raw: &(u64, [usize; 4], usize, Vec<(u32, u32, u16, u8, u64)>)) -> SmallWorld {
+    let &(seed, counts, k, ref flows) = raw;
+    SmallWorld {
+        seed,
+        mbox_counts: counts.map(|c| c.clamp(1, 3)),
+        k: k.clamp(1, 4),
+        flows: flows
+            .iter()
+            .map(|&(s, d, sp, cl, p)| (s % 10, d % 10, sp, cl % 3, p.max(1)))
+            .collect(),
+    }
 }
 
 /// The three policy classes of §IV.A on fixed ports.
@@ -94,111 +117,147 @@ fn flows_of(w: &SmallWorld, c: &Controller) -> Vec<(FiveTuple, u64)> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Conservation: every injected packet is delivered (all functions are
-    /// deployed), and per-function totals equal the volume of traffic
-    /// whose chain contains that function — under every strategy.
-    #[test]
-    fn packets_conserved_and_functions_applied(w in arb_world()) {
-        let c = build_controller(&w);
-        let flows = flows_of(&w, &c);
-        let total: u64 = flows.iter().map(|&(_, p)| p).sum();
-        // expected volume per function from the class chains
-        let chain_contains = |port: u16, f: NetworkFunction| -> bool {
-            match port {
-                2000 => matches!(f, Firewall | Ids),
-                80 => matches!(f, Firewall | Ids | WebProxy),
-                3000 => matches!(f, Ids | TrafficMonitor),
-                _ => false,
+/// Conservation: every injected packet is delivered (all functions are
+/// deployed), and per-function totals equal the volume of traffic
+/// whose chain contains that function — under every strategy.
+#[test]
+fn packets_conserved_and_functions_applied() {
+    check(
+        "packets_conserved_and_functions_applied",
+        &Config::with_cases(64),
+        arb_world,
+        |raw| {
+            let w = world_of(raw);
+            if w.flows.is_empty() {
+                return Ok(());
             }
-        };
-        for strategy in [
-            Steering::HotPotato,
-            Steering::Random { salt: w.seed },
-            Steering::LoadBalanced, // no weights -> hot-potato fallback
-        ] {
-            let mut enf = c.enforcement(strategy, None, EnforcementOptions::default());
-            for &(ft, pkts) in &flows {
-                enf.inject_flow(ft, pkts, 256);
-            }
-            enf.run();
-            prop_assert_eq!(enf.sim().stats().delivered, total, "strategy {:?}", strategy);
-            let loads = enf.middlebox_loads();
-            for f in [Firewall, Ids, WebProxy, TrafficMonitor] {
-                let expect: u64 = flows
-                    .iter()
-                    .filter(|(ft, _)| chain_contains(ft.dst_port, f))
-                    .map(|&(_, p)| p)
-                    .sum();
-                let got: u64 = c
-                    .deployment()
-                    .offering(f)
-                    .iter()
-                    .map(|m| loads[m.index()])
-                    .sum();
-                prop_assert_eq!(got, expect, "function {} under {:?}", f, strategy);
-            }
-        }
-    }
-
-    /// The LP never does worse than hot-potato: λ* ≤ max hot-potato load,
-    /// and the LP weights are non-negative and flow-conserving.
-    #[test]
-    fn lp_lambda_bounded_by_hot_potato(w in arb_world()) {
-        let c = build_controller(&w);
-        let flows = flows_of(&w, &c);
-        let mut hp = c.enforcement(Steering::HotPotato, None, EnforcementOptions::default());
-        for &(ft, pkts) in &flows {
-            hp.inject_flow(ft, pkts, 256);
-        }
-        hp.run();
-        let measurements = hp.measurements();
-        if measurements.is_empty() {
-            return Ok(());
-        }
-        let (weights, report) = c
-            .solve_load_balanced(&measurements, LbOptions::default())
-            .expect("deployment offers all functions");
-        let hp_max = *hp.middlebox_loads().iter().max().unwrap() as f64;
-        prop_assert!(report.lambda <= hp_max as f64 + 1e-6,
-            "lambda {} > hp max {}", report.lambda, hp_max);
-        prop_assert!(report.lambda >= 0.0);
-        prop_assert!(weights.lambda() == report.lambda);
-    }
-
-    /// Label switching never changes loads or delivery (packet-level).
-    #[test]
-    fn label_switching_equivalence(w in arb_world()) {
-        let c = build_controller(&w);
-        let flows = flows_of(&w, &c);
-        let mut outcomes = Vec::new();
-        for ls in [false, true] {
-            let mut enf = c.enforcement(
+            let c = build_controller(&w);
+            let flows = flows_of(&w, &c);
+            let total: u64 = flows.iter().map(|&(_, p)| p).sum();
+            // expected volume per function from the class chains
+            let chain_contains = |port: u16, f: NetworkFunction| -> bool {
+                match port {
+                    2000 => matches!(f, Firewall | Ids),
+                    80 => matches!(f, Firewall | Ids | WebProxy),
+                    3000 => matches!(f, Ids | TrafficMonitor),
+                    _ => false,
+                }
+            };
+            for strategy in [
                 Steering::HotPotato,
-                None,
-                EnforcementOptions {
-                    encoding: if ls {
-                        sdm::core::SteeringEncoding::LabelSwitching
-                    } else {
-                        sdm::core::SteeringEncoding::IpOverIp
-                    },
-                    ..Default::default()
-                },
-            );
-            for (i, &(ft, pkts)) in flows.iter().enumerate() {
-                enf.inject_flow_packets(
-                    ft,
-                    pkts.min(5),
-                    256,
-                    sdm::netsim::SimTime(i as u64),
-                    500,
-                );
+                Steering::Random { salt: w.seed },
+                Steering::LoadBalanced, // no weights -> hot-potato fallback
+            ] {
+                let mut enf = c.enforcement(strategy, None, EnforcementOptions::default());
+                for &(ft, pkts) in &flows {
+                    enf.inject_flow(ft, pkts, 256);
+                }
+                enf.run();
+                prop_assert_eq!(enf.sim().stats().delivered, total, "strategy {:?}", strategy);
+                let loads = enf.middlebox_loads();
+                for f in [Firewall, Ids, WebProxy, TrafficMonitor] {
+                    let expect: u64 = flows
+                        .iter()
+                        .filter(|(ft, _)| chain_contains(ft.dst_port, f))
+                        .map(|&(_, p)| p)
+                        .sum();
+                    let got: u64 = c
+                        .deployment()
+                        .offering(f)
+                        .iter()
+                        .map(|m| loads[m.index()])
+                        .sum();
+                    prop_assert_eq!(got, expect, "function {} under {:?}", f, strategy);
+                }
             }
-            enf.run();
-            outcomes.push((enf.sim().stats().delivered, enf.middlebox_loads()));
-        }
-        prop_assert_eq!(&outcomes[0], &outcomes[1]);
-    }
+            Ok(())
+        },
+    );
+}
+
+/// The LP never does worse than hot-potato: λ* ≤ max hot-potato load,
+/// and the LP weights are non-negative and flow-conserving.
+#[test]
+fn lp_lambda_bounded_by_hot_potato() {
+    check(
+        "lp_lambda_bounded_by_hot_potato",
+        &Config::with_cases(64),
+        arb_world,
+        |raw| {
+            let w = world_of(raw);
+            if w.flows.is_empty() {
+                return Ok(());
+            }
+            let c = build_controller(&w);
+            let flows = flows_of(&w, &c);
+            let mut hp = c.enforcement(Steering::HotPotato, None, EnforcementOptions::default());
+            for &(ft, pkts) in &flows {
+                hp.inject_flow(ft, pkts, 256);
+            }
+            hp.run();
+            let measurements = hp.measurements();
+            if measurements.is_empty() {
+                return Ok(());
+            }
+            let (weights, report) = c
+                .solve_load_balanced(&measurements, LbOptions::default())
+                .expect("deployment offers all functions");
+            let hp_max = *hp.middlebox_loads().iter().max().unwrap() as f64;
+            prop_assert!(
+                report.lambda <= hp_max + 1e-6,
+                "lambda {} > hp max {}",
+                report.lambda,
+                hp_max
+            );
+            prop_assert!(report.lambda >= 0.0);
+            prop_assert!(weights.lambda() == report.lambda);
+            Ok(())
+        },
+    );
+}
+
+/// Label switching never changes loads or delivery (packet-level).
+#[test]
+fn label_switching_equivalence() {
+    check(
+        "label_switching_equivalence",
+        &Config::with_cases(64),
+        arb_world,
+        |raw| {
+            let w = world_of(raw);
+            if w.flows.is_empty() {
+                return Ok(());
+            }
+            let c = build_controller(&w);
+            let flows = flows_of(&w, &c);
+            let mut outcomes = Vec::new();
+            for ls in [false, true] {
+                let mut enf = c.enforcement(
+                    Steering::HotPotato,
+                    None,
+                    EnforcementOptions {
+                        encoding: if ls {
+                            sdm::core::SteeringEncoding::LabelSwitching
+                        } else {
+                            sdm::core::SteeringEncoding::IpOverIp
+                        },
+                        ..Default::default()
+                    },
+                );
+                for (i, &(ft, pkts)) in flows.iter().enumerate() {
+                    enf.inject_flow_packets(
+                        ft,
+                        pkts.min(5),
+                        256,
+                        sdm::netsim::SimTime(i as u64),
+                        500,
+                    );
+                }
+                enf.run();
+                outcomes.push((enf.sim().stats().delivered, enf.middlebox_loads()));
+            }
+            prop_assert_eq!(&outcomes[0], &outcomes[1]);
+            Ok(())
+        },
+    );
 }
