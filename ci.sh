@@ -7,10 +7,19 @@ set -eu
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
-echo "==> cargo test -q --offline"
-cargo test -q --offline
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
 
 echo "==> table3 smoke run (reduced volume)"
 cargo run --release --offline -p sdm-bench --bin table3_distribution -- --packets 1000000
+
+echo "==> micro-benchmarks -> results/BENCH_pr2.json"
+SDM_BENCH_OUT=results/BENCH_pr2.json cargo bench --workspace --offline
+
+echo "==> bench regression gate (>25% median slowdown fails)"
+cargo run --release --offline -p sdm-bench --bin bench_gate
 
 echo "==> CI OK"

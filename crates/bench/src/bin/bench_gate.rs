@@ -1,0 +1,87 @@
+//! The benchmark regression gate: compares a fresh micro-benchmark result
+//! file against the committed baseline and fails (exit code 1) when any
+//! paired benchmark's median regressed beyond the threshold.
+//!
+//! The fresh file is produced by the bench harness itself, e.g.
+//!
+//! ```sh
+//! SDM_BENCH_OUT=results/BENCH_pr2.json cargo bench --workspace --offline
+//! cargo run --release --offline -p sdm-bench --bin bench_gate
+//! ```
+//!
+//! which is exactly what `ci.sh` does.
+//!
+//! Usage:
+//!   cargo run --release -p sdm-bench --bin bench_gate
+//!     [--baseline PATH]     default results/BENCH_baseline.json
+//!     [--current PATH]      default results/BENCH_pr2.json
+//!     [--max-regress PCT]   default 25 (fail on >25% median slowdown)
+
+use std::process::ExitCode;
+
+use sdm_bench::arg_value;
+use sdm_util::bench_diff::{diff, gate, group_speedup};
+use sdm_util::json::Json;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path = arg_value(&args, "--baseline")
+        .unwrap_or_else(|| "results/BENCH_baseline.json".to_string());
+    let current_path = arg_value(&args, "--current")
+        .unwrap_or_else(|| "results/BENCH_pr2.json".to_string());
+    let max_regress_pct: f64 = arg_value(&args, "--max-regress")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25.0);
+    let fail_ratio = 1.0 + max_regress_pct / 100.0;
+
+    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b, c] {
+                if let Err(e) = r {
+                    eprintln!("bench_gate: {e}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let deltas = diff(&baseline, &current);
+    if deltas.is_empty() {
+        eprintln!("bench_gate: no benchmarks paired between the two files");
+        return ExitCode::FAILURE;
+    }
+
+    println!("# bench gate: {current_path} vs {baseline_path}");
+    println!("# fail threshold: >{max_regress_pct:.0}% median regression");
+    for d in &deltas {
+        println!("{}", d.format_line());
+    }
+
+    let mut groups: Vec<&str> = deltas.iter().map(|d| d.group.as_str()).collect();
+    groups.dedup();
+    println!("\n# per-group geometric-mean speedup (baseline / new):");
+    for g in groups {
+        if let Some(s) = group_speedup(&deltas, g) {
+            println!("{g:<24} {s:>6.2}x");
+        }
+    }
+
+    let failures = gate(&deltas, fail_ratio);
+    if failures.is_empty() {
+        println!("\nbench gate PASSED ({} benchmarks compared)", deltas.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("\nbench gate FAILED — {} regression(s):", failures.len());
+        for d in &failures {
+            println!("  {}", d.format_line());
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -9,6 +9,7 @@
 
 use sdm_bench::{arg_value, ExperimentConfig, World, PLOT_ORDER};
 use sdm_core::KConfig;
+use sdm_util::par::par_map;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -25,7 +26,10 @@ fn main() {
         "{:>3} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "k", "lambda", "FW-max", "IDS-max", "WP-max", "TM-max"
     );
-    for k in 1..=7usize {
+    // Each k-point is an independent world: build, run and solve them in
+    // parallel, print in order afterwards.
+    let ks: Vec<usize> = (1..=7).collect();
+    let rows = par_map(&ks, |_, &k| {
         let mut cfg = ExperimentConfig::campus(seed);
         cfg.k = KConfig::uniform(k);
         let world = World::build(&cfg);
@@ -35,9 +39,12 @@ fn main() {
             .iter()
             .map(|&f| c.lb.report.row(f).map_or(0, |r| r.max))
             .collect();
+        (k, c.lb_report.lambda, maxes)
+    });
+    for (k, lambda, maxes) in rows {
         println!(
             "{:>3} {:>12.0} {:>12} {:>12} {:>12} {:>12}",
-            k, c.lb_report.lambda, maxes[0], maxes[1], maxes[2], maxes[3]
+            k, lambda, maxes[0], maxes[1], maxes[2], maxes[3]
         );
     }
     println!("# expected shape: max loads drop steeply from k=1 and flatten once");

@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use sdm_netsim::{Device, DeviceCtx, Packet, PacketKind};
+use sdm_netsim::{Device, DeviceCtx, PacketKind};
 use sdm_policy::LocalClassifier;
 
 use crate::runtime::{ProxyState, RuntimeConfig, Shared};
@@ -40,19 +40,22 @@ impl IngressProxy {
 }
 
 impl Device for IngressProxy {
-    fn receive(&mut self, ctx: &mut DeviceCtx<'_>, mut pkt: Packet) {
+    fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: sdm_netsim::PacketId) {
         let mut state = self.state.lock();
 
-        if let PacketKind::LabelReady(flow) = pkt.kind {
-            state.counters.control_received += pkt.weight;
+        if let PacketKind::LabelReady(flow) = ctx.pkt(pkt).kind {
+            state.counters.control_received += ctx.pkt(pkt).weight;
             state.flows.flag_label_switched(&flow);
+            ctx.drop_pkt(pkt);
             return;
         }
 
-        state.counters.outbound += pkt.weight; // "entering the enterprise"
-        let ft = pkt.five_tuple();
+        let (ft, weight) = {
+            let p = ctx.pkt(pkt);
+            (p.five_tuple(), p.weight)
+        };
+        state.counters.outbound += weight; // "entering the enterprise"
         let now = ctx.now();
-        let weight = pkt.weight;
 
         // Flow cache, then policy table — same §III.D fast path as stub
         // proxies.
@@ -101,13 +104,14 @@ impl Device for IngressProxy {
         if self.config.encoding == crate::steer::SteeringEncoding::SourceRouting {
             let Some(chain) = self.config.resolve_chain(point, policy_id, &actions, &ft) else {
                 state.counters.unenforceable += weight;
+                ctx.drop_pkt(pkt);
                 return;
             };
-            let final_dst = pkt.inner.dst;
+            let final_dst = ctx.pkt(pkt).inner.dst;
             let mut segments: Vec<sdm_netsim::Ipv4Addr> =
                 chain.iter().map(|&m| self.config.mbox_addr(m)).collect();
             segments.push(final_dst);
-            pkt.set_source_route(segments);
+            ctx.pkt_mut(pkt).set_source_route(segments);
             state.counters.steered += weight;
             drop(state);
             ctx.forward(pkt);
@@ -115,20 +119,22 @@ impl Device for IngressProxy {
         }
 
         let first_fn = actions.first().expect("non-permit chain");
-        let commodity = self.config.commodity_of(&pkt);
+        let commodity = self.config.commodity_of(ctx.pkt(pkt));
         let Some(next) =
             self.config
                 .select_for_commodity(point, policy_id, first_fn, 0, &ft, commodity)
         else {
             state.counters.unenforceable += weight;
+            ctx.drop_pkt(pkt);
             return;
         };
         let next_addr = self.config.mbox_addr(next);
 
         if label_switched && self.config.label_switching() {
             if let Some(l) = label {
-                pkt.label = Some(l);
-                pkt.inner.dst = next_addr;
+                let p = ctx.pkt_mut(pkt);
+                p.label = Some(l);
+                p.inner.dst = next_addr;
                 state.counters.label_switched += weight;
                 state.counters.steered += weight;
                 drop(state);
@@ -136,8 +142,10 @@ impl Device for IngressProxy {
                 return;
             }
         }
-        pkt.label = label;
-        pkt.encapsulate(ctx.addr(), next_addr);
+        let entry = ctx.addr();
+        let p = ctx.pkt_mut(pkt);
+        p.label = label;
+        p.encapsulate(entry, next_addr);
         state.counters.steered += weight;
         drop(state);
         ctx.forward(pkt);

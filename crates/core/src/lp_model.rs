@@ -62,6 +62,7 @@ impl From<SolveError> for LbError {
 
 /// Options controlling LP construction.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
 pub struct LbOptions {
     /// If true, adds the paper's `λ ≤ 1` constraint, making the program
     /// infeasible when demand cannot fit within capacities (a
@@ -70,11 +71,6 @@ pub struct LbOptions {
     pub cap_lambda: bool,
 }
 
-impl Default for LbOptions {
-    fn default() -> Self {
-        LbOptions { cap_lambda: false }
-    }
-}
 
 /// Diagnostics of one LP build + solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -182,11 +178,15 @@ pub fn build_reduced(
     ))
 }
 
+/// One source group of the reduced model: the stubs sharing a candidate
+/// set, each with its share of the group volume, plus the per-candidate
+/// first-hop variable.
+type FirstHopGroup = (Vec<(StubId, f64)>, Vec<MiddleboxId>, Vec<VarId>);
+
 /// Bookkeeping for weight extraction after solving.
 struct PolicyVars {
     policy: PolicyId,
-    /// (group members, candidate set, per-candidate var)
-    first_hop: Vec<(Vec<StubId>, Vec<MiddleboxId>, Vec<VarId>)>,
+    first_hop: Vec<FirstHopGroup>,
     /// transition vars [stage i][x][y] as flat entries
     transitions: Vec<(usize, MiddleboxId, MiddleboxId, VarId)>,
 }
@@ -209,14 +209,18 @@ fn extract_weights(
                 .zip(vars)
                 .map(|(&y, &v)| (y, value(v)))
                 .collect();
-            for &s in members {
+            // The group optimum splits back proportionally to each
+            // member's T_{s,p} (the exactness argument of the source
+            // reduction); installing the unscaled group vector on every
+            // member would multiply the group's volume by its member count.
+            for &(s, share) in members {
                 weights.set(
                     WeightKey {
                         point: SteerPoint::Proxy(s),
                         policy: pv.policy,
                         next_index: 0,
                     },
-                    w.clone(),
+                    w.iter().map(|&(y, v)| (y, v * share)).collect(),
                 );
             }
         }
@@ -277,9 +281,10 @@ fn assemble_reduced(
         let k = stages.len();
 
         // --- source grouping (exact reduction) ---
-        // BTreeMap: deterministic variable order => deterministic optimum
-        let mut groups: std::collections::BTreeMap<Vec<MiddleboxId>, (Vec<StubId>, f64)> =
-            Default::default();
+        // BTreeMap: deterministic variable order => deterministic optimum.
+        // Value: the member stubs with their T_{s,p}, and the group total.
+        type Group = (Vec<(StubId, f64)>, f64);
+        let mut groups: std::collections::BTreeMap<Vec<MiddleboxId>, Group> = Default::default();
         for s in traffic.sources_for(p) {
             let t_sp = traffic.from_source(s, p);
             if t_sp <= 0.0 {
@@ -292,7 +297,7 @@ fn assemble_reduced(
                 return Err(LbError::MissingFunction(stages[0].function, p));
             }
             let entry = groups.entry(cands).or_insert_with(|| (Vec::new(), 0.0));
-            entry.0.push(s);
+            entry.0.push((s, t_sp));
             entry.1 += t_sp;
         }
 
@@ -309,7 +314,11 @@ fn assemble_reduced(
                 Relation::Eq,
                 *volume,
             );
-            first_hop.push((members.clone(), cands.clone(), vars));
+            let shares: Vec<(StubId, f64)> = members
+                .iter()
+                .map(|&(s, t_sp)| (s, t_sp / *volume))
+                .collect();
+            first_hop.push((shares, cands.clone(), vars));
         }
 
         // transition vars t[i][x][y], i = 0-based transition from stage i to i+1

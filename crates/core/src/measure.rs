@@ -2,7 +2,7 @@
 //! volumes `T_{s,d,p}` and report them to the controller, which aggregates
 //! `T_{s,p}`, `T_{d,p}` and `T_p` for the load-balancing LPs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use sdm_netsim::StubId;
@@ -10,7 +10,7 @@ use sdm_policy::PolicyId;
 
 /// A traffic destination as the measurement system sees it: another stub
 /// network or somewhere outside the enterprise (beyond a gateway).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DestKey {
     /// An internal stub network.
     Stub(StubId),
@@ -46,7 +46,10 @@ impl fmt::Display for DestKey {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TrafficMatrix {
-    cells: HashMap<(StubId, DestKey, PolicyId), f64>,
+    // BTreeMap, not HashMap: `iter()` order feeds the full LP's variable
+    // order (Eq. 1), so it must be deterministic across processes for the
+    // simplex pivot sequence — and hence diagnostics — to reproduce.
+    cells: BTreeMap<(StubId, DestKey, PolicyId), f64>,
 }
 
 impl TrafficMatrix {

@@ -50,12 +50,14 @@ impl MiddleboxDevice {
     }
 
     /// Handles a tunneled (IP-over-IP) packet addressed to this box.
-    fn handle_tunneled(&mut self, ctx: &mut DeviceCtx<'_>, mut pkt: Packet) {
-        let proxy_addr = pkt.current_src(); // kept as outer src end-to-end (§III.E)
-        pkt.decapsulate();
-        let ft = pkt.five_tuple();
+    fn handle_tunneled(&mut self, ctx: &mut DeviceCtx<'_>, pkt: sdm_netsim::PacketId) {
+        let proxy_addr = ctx.pkt(pkt).current_src(); // kept as outer src end-to-end (§III.E)
+        ctx.pkt_mut(pkt).decapsulate();
+        let (ft, weight) = {
+            let p = ctx.pkt(pkt);
+            (p.five_tuple(), p.weight)
+        };
         let now = ctx.now();
-        let weight = pkt.weight;
 
         let mut state = self.state.lock();
         state.counters.tunneled_in += weight;
@@ -108,7 +110,7 @@ impl MiddleboxDevice {
         match actions.get(end + 1) {
             Some(next_fn) => {
                 // Steer to the next middlebox.
-                let commodity = self.config.commodity_of(&pkt);
+                let commodity = self.config.commodity_of(ctx.pkt(pkt));
                 let Some(next) = self.config.select_for_commodity(
                     SteerPoint::Middlebox(self.id),
                     policy_id,
@@ -118,14 +120,15 @@ impl MiddleboxDevice {
                     commodity,
                 ) else {
                     state.counters.unenforceable += weight;
+                    ctx.drop_pkt(pkt);
                     return;
                 };
                 let next_addr = self.config.mbox_addr(next);
                 // Install the label-table entry for later label switching.
-                if let Some(l) = pkt.label {
+                if let Some(l) = ctx.pkt(pkt).label {
                     state.labels.insert(
                         LabelKey {
-                            src: pkt.inner.src,
+                            src: ctx.pkt(pkt).inner.src,
                             label: l,
                         },
                         actions.clone(),
@@ -136,7 +139,7 @@ impl MiddleboxDevice {
                         now,
                     );
                 }
-                pkt.encapsulate(proxy_addr, next_addr);
+                ctx.pkt_mut(pkt).encapsulate(proxy_addr, next_addr);
                 drop(state);
                 ctx.forward(pkt);
             }
@@ -144,21 +147,22 @@ impl MiddleboxDevice {
                 // Last middlebox in the chain (§III.E): store the final
                 // destination, notify the proxy, forward the original
                 // packet towards its destination.
-                if let Some(l) = pkt.label {
+                if let Some(l) = ctx.pkt(pkt).label {
                     state.labels.insert(
                         LabelKey {
-                            src: pkt.inner.src,
+                            src: ctx.pkt(pkt).inner.src,
                             label: l,
                         },
                         actions.clone(),
                         policy_id,
                         pos,
                         None,
-                        Some(pkt.inner.dst),
+                        Some(ctx.pkt(pkt).inner.dst),
                         now,
                     );
                     if self.config.label_switching() {
                         let control = Packet::control(ctx.addr(), proxy_addr, ft);
+                        let control = ctx.alloc(control);
                         drop(state);
                         ctx.forward(control);
                         ctx.forward(pkt);
@@ -173,33 +177,35 @@ impl MiddleboxDevice {
 
     /// Handles a source-routed packet: apply the function, pop the next
     /// segment, forward. No per-flow state is consulted or installed.
-    fn handle_source_routed(&mut self, ctx: &mut DeviceCtx<'_>, mut pkt: Packet) {
-        let weight = pkt.weight;
+    fn handle_source_routed(&mut self, ctx: &mut DeviceCtx<'_>, pkt: sdm_netsim::PacketId) {
+        let weight = ctx.pkt(pkt).weight;
         {
             let mut state = self.state.lock();
             state.counters.source_routed_in += weight;
             state.counters.applications += weight;
         }
-        if pkt.advance_source_route() {
+        if ctx.pkt_mut(pkt).advance_source_route() {
             ctx.forward(pkt);
+        } else {
+            // an exhausted route here would mean the proxy built a route
+            // not ending in the destination; unreachable in practice
+            // because set_source_route guarantees a final segment.
+            ctx.drop_pkt(pkt);
         }
-        // an exhausted route here would mean the proxy built a route not
-        // ending in the destination; drop silently is impossible because
-        // set_source_route guarantees a final segment, so this arm is
-        // unreachable in practice.
     }
 
     /// Handles a label-switched packet (not encapsulated, addressed to us).
-    fn handle_labeled(&mut self, ctx: &mut DeviceCtx<'_>, mut pkt: Packet) {
-        let weight = pkt.weight;
+    fn handle_labeled(&mut self, ctx: &mut DeviceCtx<'_>, pkt: sdm_netsim::PacketId) {
+        let weight = ctx.pkt(pkt).weight;
         let mut state = self.state.lock();
         state.counters.label_switched_in += weight;
-        let Some(label) = pkt.label else {
+        let Some(label) = ctx.pkt(pkt).label else {
             state.counters.label_misses += weight;
-            return; // addressed to us without label or tunnel: drop
+            ctx.drop_pkt(pkt); // addressed to us without label or tunnel
+            return;
         };
         let key = LabelKey {
-            src: pkt.inner.src,
+            src: ctx.pkt(pkt).inner.src,
             label,
         };
         let now = ctx.now();
@@ -207,19 +213,21 @@ impl MiddleboxDevice {
             Some(e) => e.clone(),
             None => {
                 state.counters.label_misses += weight;
+                ctx.drop_pkt(pkt);
                 return;
             }
         };
         state.counters.applications += weight;
         match (entry.next_hop, entry.final_dst) {
             (Some(next), _) => {
-                pkt.inner.dst = next;
+                ctx.pkt_mut(pkt).inner.dst = next;
             }
             (None, Some(dst)) => {
-                pkt.inner.dst = dst;
+                ctx.pkt_mut(pkt).inner.dst = dst;
             }
             (None, None) => {
                 state.counters.label_misses += weight;
+                ctx.drop_pkt(pkt);
                 return;
             }
         }
@@ -229,17 +237,18 @@ impl MiddleboxDevice {
 }
 
 impl Device for MiddleboxDevice {
-    fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: Packet) {
+    fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: sdm_netsim::PacketId) {
         {
             let mut state = self.state.lock();
             if state.failed {
-                state.counters.dropped_failed += pkt.weight;
+                state.counters.dropped_failed += ctx.pkt(pkt).weight;
+                ctx.drop_pkt(pkt);
                 return;
             }
         }
-        if pkt.is_encapsulated() {
+        if ctx.pkt(pkt).is_encapsulated() {
             self.handle_tunneled(ctx, pkt);
-        } else if pkt.has_source_route() {
+        } else if ctx.pkt(pkt).has_source_route() {
             self.handle_source_routed(ctx, pkt);
         } else {
             self.handle_labeled(ctx, pkt);

@@ -55,30 +55,33 @@ impl ProxyDevice {
 }
 
 impl Device for ProxyDevice {
-    fn receive(&mut self, ctx: &mut DeviceCtx<'_>, mut pkt: Packet) {
+    fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: sdm_netsim::PacketId) {
         let mut state = self.state.lock();
 
         // 1. Label-ready control packet from the last middlebox (§III.E):
         //    flag the flow for label switching and consume the packet.
-        if let PacketKind::LabelReady(flow) = pkt.kind {
-            state.counters.control_received += pkt.weight;
+        if let PacketKind::LabelReady(flow) = ctx.pkt(pkt).kind {
+            state.counters.control_received += ctx.pkt(pkt).weight;
             state.flows.flag_label_switched(&flow);
+            ctx.drop_pkt(pkt);
             return;
         }
 
         // 2. Inbound traffic addressed into our stub: final delivery.
-        if self.subnet.contains(pkt.current_dst()) {
-            state.counters.inbound += pkt.weight;
-            while pkt.decapsulate().is_some() {}
+        if self.subnet.contains(ctx.pkt(pkt).current_dst()) {
+            state.counters.inbound += ctx.pkt(pkt).weight;
+            while ctx.pkt_mut(pkt).decapsulate().is_some() {}
             ctx.deliver_local(pkt);
             return;
         }
 
         // 3. Outbound traffic from our stub.
-        state.counters.outbound += pkt.weight;
-        let ft = pkt.five_tuple();
+        let (ft, weight) = {
+            let p = ctx.pkt(pkt);
+            (p.five_tuple(), p.weight)
+        };
+        state.counters.outbound += weight;
         let now = ctx.now();
-        let weight = pkt.weight;
 
         // Flow-cache fast path (§III.D).
         let cached = state
@@ -123,7 +126,7 @@ impl Device for ProxyDevice {
         // Measure T_{s,d,p} for the controller (§III.C).
         self.measurements
             .lock()
-            .record(self.stub, self.dest_key(&pkt), policy_id, weight as f64);
+            .record(self.stub, self.dest_key(ctx.pkt(pkt)), policy_id, weight as f64);
 
         if actions.is_permit() {
             state.counters.permitted += weight;
@@ -141,13 +144,14 @@ impl Device for ProxyDevice {
                 &ft,
             ) else {
                 state.counters.unenforceable += weight;
+                ctx.drop_pkt(pkt);
                 return;
             };
-            let final_dst = pkt.inner.dst;
+            let final_dst = ctx.pkt(pkt).inner.dst;
             let mut segments: Vec<sdm_netsim::Ipv4Addr> =
                 chain.iter().map(|&m| self.config.mbox_addr(m)).collect();
             segments.push(final_dst);
-            pkt.set_source_route(segments);
+            ctx.pkt_mut(pkt).set_source_route(segments);
             state.counters.steered += weight;
             drop(state);
             ctx.forward(pkt);
@@ -156,7 +160,7 @@ impl Device for ProxyDevice {
 
         // Steer to the first function's middlebox.
         let first_fn = actions.first().expect("non-permit chain");
-        let commodity = self.config.commodity_of(&pkt);
+        let commodity = self.config.commodity_of(ctx.pkt(pkt));
         let Some(next) = self.config.select_for_commodity(
             SteerPoint::Proxy(self.stub),
             policy_id,
@@ -166,15 +170,17 @@ impl Device for ProxyDevice {
             commodity,
         ) else {
             state.counters.unenforceable += weight;
-            return; // drop: the policy cannot be enforced
+            ctx.drop_pkt(pkt); // drop: the policy cannot be enforced
+            return;
         };
         let next_addr = self.config.mbox_addr(next);
 
         if label_switched && self.config.label_switching() {
             // §III.E fast path: label + destination rewrite, no tunnel.
             if let Some(l) = label {
-                pkt.label = Some(l);
-                pkt.inner.dst = next_addr;
+                let p = ctx.pkt_mut(pkt);
+                p.label = Some(l);
+                p.inner.dst = next_addr;
                 state.counters.label_switched += weight;
                 state.counters.steered += weight;
                 drop(state);
@@ -184,8 +190,10 @@ impl Device for ProxyDevice {
         }
 
         // §III.B: IP-over-IP with the proxy as outer source.
-        pkt.label = label;
-        pkt.encapsulate(ctx.addr(), next_addr);
+        let entry = ctx.addr();
+        let p = ctx.pkt_mut(pkt);
+        p.label = label;
+        p.encapsulate(entry, next_addr);
         state.counters.steered += weight;
         drop(state);
         ctx.forward(pkt);

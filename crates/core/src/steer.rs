@@ -400,13 +400,23 @@ pub fn select_next(
             }
             let r = flow.unit_hash() * total;
             let mut acc = 0.0;
+            let mut last_positive = None;
             for &(m, v) in w {
-                acc += v.max(0.0);
-                if r < acc {
-                    return Some(m);
+                if v > 0.0 {
+                    acc += v;
+                    last_positive = Some(m);
+                    if r < acc {
+                        return Some(m);
+                    }
                 }
             }
-            Some(w.last().expect("nonempty weights").0)
+            // Float accumulation can leave `acc` a hair below `total` while
+            // `unit_hash` is arbitrarily close to 1.0, so the loop may fall
+            // through. The fallback must be the last *positive*-weight
+            // candidate: a zero-weight candidate is one the LP explicitly
+            // routed no traffic to, and hash values on the bucket edge must
+            // never select it. `total > 0` guarantees at least one.
+            last_positive
         }
     }
 }

@@ -141,19 +141,39 @@ fn lb_frequencies_match_weights() {
     );
 }
 
-/// A zero-weight candidate is never chosen by the LB strategy.
+/// A candidate with zero (or negative) weight is never chosen by the LB
+/// strategy — at any position, including *last*, where the old fallback
+/// (`w.last()`) could return it for flows hashing onto the bucket edge.
 #[test]
 fn zero_weight_never_selected() {
     check(
         "zero_weight_never_selected",
         &Config::with_cases(128),
-        |rng: &mut StdRng| (rng.gen_range(1.0..10.0), rng.gen_range(1u32..500)),
-        |&(live, flows)| {
-            let live = live.max(1.0);
-            let flows = flows.max(1);
-            let candidates = mids(2);
-            let weights = vec![(MiddleboxId(0), 0.0), (MiddleboxId(1), live)];
-            for i in 0..flows {
+        |rng: &mut StdRng| {
+            let n = rng.gen_range(2usize..6);
+            let weights: Vec<f64> = (0..n)
+                .map(|_| {
+                    if rng.gen_range(0u32..3) == 0 {
+                        // dead candidate: zero or negative weight
+                        -rng.gen_range(0.0..2.0)
+                    } else {
+                        rng.gen_range(0.5..10.0)
+                    }
+                })
+                .collect();
+            (weights, rng.gen_range(1u32..400))
+        },
+        |&(ref raw, flows)| {
+            let mut weights: Vec<(MiddleboxId, f64)> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (MiddleboxId(i as u32), w))
+                .collect();
+            // Force the worst case: a dead candidate in the last slot.
+            weights.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            let candidates = mids(weights.len());
+            let any_live = weights.iter().any(|&(_, w)| w > 0.0);
+            for i in 0..flows.max(1) {
                 let ft = FiveTuple {
                     src: Ipv4Addr(i),
                     dst: Ipv4Addr(99),
@@ -161,9 +181,65 @@ fn zero_weight_never_selected() {
                     dst_port: 80,
                     proto: Protocol::Tcp,
                 };
-                prop_assert_eq!(
-                    select_next(Steering::LoadBalanced, &candidates, Some(&weights), &ft),
-                    Some(MiddleboxId(1))
+                let got =
+                    select_next(Steering::LoadBalanced, &candidates, Some(&weights), &ft)
+                        .unwrap();
+                if any_live {
+                    let w = weights.iter().find(|&&(m, _)| m == got).unwrap().1;
+                    prop_assert!(
+                        w > 0.0,
+                        "dead candidate {:?} selected (weight {})",
+                        got,
+                        w
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Frequencies still converge to the LP proportions when a zero-weight
+/// candidate sits in the last slot (the fallback position).
+#[test]
+fn lb_frequencies_with_trailing_zero_weight() {
+    check(
+        "lb_frequencies_with_trailing_zero_weight",
+        &Config::with_cases(64),
+        |rng: &mut StdRng| [rng.gen_range(1.0..10.0), rng.gen_range(1.0..10.0)],
+        |&[w0, w1]| {
+            let (w0, w1) = (w0.max(1.0), w1.max(1.0));
+            let candidates = mids(3);
+            let weights = vec![
+                (MiddleboxId(0), w0),
+                (MiddleboxId(1), w1),
+                (MiddleboxId(2), 0.0), // dead, last
+            ];
+            let total = w0 + w1;
+            let mut counts = [0u32; 3];
+            let n = 4000;
+            for i in 0..n {
+                let ft = FiveTuple {
+                    src: Ipv4Addr(0x0a000000 + i),
+                    dst: Ipv4Addr(0x0a100000),
+                    src_port: (i % 50000) as u16,
+                    dst_port: 80,
+                    proto: Protocol::Tcp,
+                };
+                let m = select_next(Steering::LoadBalanced, &candidates, Some(&weights), &ft)
+                    .unwrap();
+                counts[m.index()] += 1;
+            }
+            prop_assert_eq!(counts[2], 0);
+            for (i, &w) in [w0, w1].iter().enumerate() {
+                let expect = w / total;
+                let got = counts[i] as f64 / n as f64;
+                prop_assert!(
+                    (got - expect).abs() < 0.10,
+                    "candidate {}: expected {:.3}, got {:.3}",
+                    i,
+                    expect,
+                    got
                 );
             }
             Ok(())

@@ -70,6 +70,10 @@ struct Tableau {
     obj: f64,
     /// basis[r] = column basic in row r
     basis: Vec<usize>,
+    /// scratch copy of the pivot row (avoids re-borrowing `a` in `pivot`)
+    prow: Vec<f64>,
+    /// scratch list of the pivot row's nonzero columns
+    nz: Vec<u32>,
 }
 
 impl Tableau {
@@ -87,6 +91,19 @@ impl Tableau {
         }
         self.b[pr] *= inv;
         self.a[pr * cols + pc] = 1.0; // fight rounding
+        // Snapshot the (scaled) pivot row and its nonzero support. Early
+        // tableaus are very sparse, so restricting every row update to the
+        // support — `x -= f * 0.0` can only flip the sign of a zero, which
+        // no later comparison or output observes — cuts the dominant
+        // O(rows x cols) cost of the solve by the row's sparsity factor.
+        self.prow.clear();
+        self.prow.extend_from_slice(&self.a[pr * cols..(pr + 1) * cols]);
+        self.nz.clear();
+        for (c, &v) in self.prow.iter().enumerate() {
+            if v != 0.0 {
+                self.nz.push(c as u32);
+            }
+        }
         for r in 0..self.rows {
             if r == pr {
                 continue;
@@ -96,18 +113,20 @@ impl Tableau {
                 self.a[r * cols + pc] = 0.0;
                 continue;
             }
-            // row_r -= factor * row_pr  (split borrows via indices)
-            for c in 0..cols {
-                let v = self.a[pr * cols + c];
-                self.a[r * cols + c] -= factor * v;
+            // row_r -= factor * row_pr, on the pivot row's support only
+            let row = &mut self.a[r * cols..(r + 1) * cols];
+            for &c in &self.nz {
+                let c = c as usize;
+                row[c] -= factor * self.prow[c];
             }
-            self.a[r * cols + pc] = 0.0;
+            row[pc] = 0.0;
             self.b[r] -= factor * self.b[pr];
         }
         let cf = self.c[pc];
         if cf.abs() > EPS {
-            for c in 0..cols {
-                self.c[c] -= cf * self.a[pr * cols + c];
+            for &c in &self.nz {
+                let c = c as usize;
+                self.c[c] -= cf * self.prow[c];
             }
             self.c[pc] = 0.0;
             self.obj -= cf * self.b[pr];
@@ -154,7 +173,7 @@ impl Tableau {
                 if arc > EPS {
                     let ratio = self.b[r] / arc;
                     let key = (ratio, self.basis[r]);
-                    if leave.map_or(true, |(lr, lb, _)| key < (lr, lb)) {
+                    if leave.is_none_or(|(lr, lb, _)| key < (lr, lb)) {
                         leave = Some((ratio, self.basis[r], r));
                     }
                 }
@@ -230,6 +249,8 @@ impl LinearProgram {
             c: vec![0.0; cols],
             obj: 0.0,
             basis: vec![usize::MAX; m],
+            prow: Vec::with_capacity(cols),
+            nz: Vec::with_capacity(cols),
         };
 
         // Fill coefficients (terms summed; sign flipped for normalized
@@ -244,7 +265,7 @@ impl LinearProgram {
             let row_max = (0..n)
                 .map(|v| t.a[i * cols + v].abs())
                 .fold(0.0f64, f64::max);
-            if row_max > EPS && (row_max > 1e4 || row_max < 1e-4) {
+            if row_max > EPS && !(1e-4..=1e4).contains(&row_max) {
                 let inv = 1.0 / row_max;
                 for v in 0..n {
                     t.a[i * cols + v] *= inv;

@@ -127,7 +127,9 @@ impl Prefix {
         self.addr
     }
 
-    /// The prefix length in bits.
+    /// The prefix length in bits. (`is_empty` would be meaningless for a
+    /// prefix — length 0 is the full wildcard, see [`Prefix::is_any`].)
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(self) -> u8 {
         self.len
     }

@@ -5,15 +5,29 @@
 //! This is the repo's substitute for the paper's OMNET++/INET setup: the
 //! routers here are *policy-oblivious* — they look at the outermost
 //! destination address only, exactly like the legacy routers in §II.
+//!
+//! # Hot-path architecture
+//!
+//! Every in-flight packet lives in a [`PacketArena`] slot and is scheduled
+//! by its 4-byte [`PacketId`]; events are dispatched from a
+//! [`CalendarQueue`] of exact-tick buckets (heap fallback for far-future
+//! timers). Per hop the engine therefore moves a 16-byte event, not a
+//! packet struct, and performs no hash lookups: device addresses decode
+//! arithmetically (they are assigned densely from `172.16.0.0/12`), link
+//! ids come from a flat `node × node` table, and stub/gateway targets from
+//! per-node arrays. Fragmentation keeps the original packet parked in the
+//! arena and sends lightweight fragments that reference it, so the
+//! forwarding path never deep-clones a packet.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::fmt;
 
 use sdm_topology::{NetworkPlan, NodeId, NodeKind, RoutingTables, Topology};
 
 use crate::addr::{AddressPlan, Ipv4Addr, StubId};
+use crate::arena::{PacketArena, PacketId};
 use crate::packet::{FiveTuple, FragInfo, Packet, PacketKind, IP_HEADER_LEN};
+use crate::queue::CalendarQueue;
 
 /// Simulated time in abstract ticks (one tick = one link traversal).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -98,10 +112,14 @@ pub enum Attachment {
 ///
 /// Devices interact with the world only through [`DeviceCtx`]; the engine
 /// owns them. All state a device needs must be moved in at construction.
+/// Packets are handed over as arena ids — read or mutate them in place via
+/// [`DeviceCtx::pkt`] / [`DeviceCtx::pkt_mut`], then [`DeviceCtx::forward`]
+/// or [`DeviceCtx::deliver_local`] the id (or [`DeviceCtx::drop_pkt`] to
+/// consume it).
 pub trait Device {
     /// Called when a packet addressed to this device (or intercepted by it)
     /// arrives.
-    fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: Packet);
+    fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: PacketId);
 
     /// Called when a timer set through [`DeviceCtx::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut DeviceCtx<'_>, key: u64) {
@@ -111,19 +129,21 @@ pub trait Device {
 
 /// Side-effect interface handed to a [`Device`] during callbacks.
 ///
-/// Actions are buffered and applied by the engine after the callback
-/// returns, in order.
+/// Forward/deliver/timer actions are buffered and applied by the engine
+/// after the callback returns, in order. Packet reads and mutations go
+/// straight to the arena.
 pub struct DeviceCtx<'a> {
     now: SimTime,
     dev: DeviceId,
     addr: Ipv4Addr,
     router: NodeId,
+    arena: &'a mut PacketArena,
     actions: &'a mut Vec<Action>,
 }
 
 enum Action {
-    Forward(Packet),
-    DeliverLocal(Packet),
+    Forward(PacketId),
+    DeliverLocal(PacketId),
     SetTimer { delay: u64, key: u64 },
 }
 
@@ -148,16 +168,37 @@ impl<'a> DeviceCtx<'a> {
         self.router
     }
 
+    /// Read access to a packet this device holds.
+    pub fn pkt(&self, id: PacketId) -> &Packet {
+        self.arena.get(id)
+    }
+
+    /// In-place mutable access to a packet this device holds.
+    pub fn pkt_mut(&mut self, id: PacketId) -> &mut Packet {
+        self.arena.get_mut(id)
+    }
+
+    /// Stores a newly created packet (e.g. a control packet) in the arena
+    /// so it can be forwarded.
+    pub fn alloc(&mut self, pkt: Packet) -> PacketId {
+        self.arena.alloc(pkt)
+    }
+
+    /// Consumes a packet terminally (a device-level drop); frees its slot.
+    pub fn drop_pkt(&mut self, id: PacketId) {
+        let _ = self.arena.free(id);
+    }
+
     /// Re-emits a packet into the network at the attachment router; it will
     /// be routed by its outermost destination address.
-    pub fn forward(&mut self, pkt: Packet) {
-        self.actions.push(Action::Forward(pkt));
+    pub fn forward(&mut self, id: PacketId) {
+        self.actions.push(Action::Forward(id));
     }
 
     /// Terminally delivers a packet into this device's local stub network
     /// (used by proxies for inbound traffic that has passed all policies).
-    pub fn deliver_local(&mut self, pkt: Packet) {
-        self.actions.push(Action::DeliverLocal(pkt));
+    pub fn deliver_local(&mut self, id: PacketId) {
+        self.actions.push(Action::DeliverLocal(id));
     }
 
     /// Schedules [`Device::on_timer`] with `key` after `delay` ticks.
@@ -253,34 +294,11 @@ unroutable {}, control {}",
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 enum EventKind {
-    Arrive { node: NodeId, pkt: Packet },
-    DeviceRecv { dev: DeviceId, pkt: Packet },
+    Arrive { node: NodeId, pkt: PacketId },
+    DeviceRecv { dev: DeviceId, pkt: PacketId },
     Timer { dev: DeviceId, key: u64 },
-}
-
-struct Queued {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Queued {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Queued {}
-impl PartialOrd for Queued {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Queued {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 struct DeviceSlot {
@@ -292,6 +310,9 @@ struct DeviceSlot {
 
 /// Base of the device (tunnel endpoint) address space: `172.16.0.0/12`.
 const DEVICE_BASE: u32 = (172 << 24) | (16 << 16);
+
+/// Sentinel for "no entry" in the flat node-indexed tables.
+const NONE_U32: u32 = u32::MAX;
 
 /// The address [`Simulator::attach`] will assign to the `index`-th attached
 /// device. Address assignment is deterministic so that controllers can
@@ -328,33 +349,57 @@ pub struct Simulator {
     addrs: AddressPlan,
     gateways: Vec<NodeId>,
     devices: Vec<DeviceSlot>,
-    addr_to_device: HashMap<Ipv4Addr, DeviceId>,
-    stub_handler: HashMap<StubId, DeviceId>,
-    ingress_handler: HashMap<NodeId, DeviceId>,
-    queue: BinaryHeap<Reverse<Queued>>,
+    /// In-flight packet storage; events carry ids into this arena.
+    arena: PacketArena,
+    /// Per-stub intercepting proxy device (indexed by [`StubId`]).
+    stub_handler: Vec<Option<DeviceId>>,
+    /// Per-router ingress interceptor (indexed by [`NodeId`]).
+    ingress_handler: Vec<Option<DeviceId>>,
+    /// Stub attached at each router, [`NONE_U32`] if none (flat version of
+    /// [`AddressPlan::stub_at`], consulted on every local delivery).
+    stub_at_node: Vec<u32>,
+    /// Nearest gateway per router (ties broken towards the smaller node
+    /// id, matching a `min` over `(distance, node)`); rebuilt on routing
+    /// changes. [`NONE_U32`] = no gateway reachable.
+    nearest_gw: Vec<u32>,
+    /// Flat `node × node` link-id table; [`NONE_U32`] = not adjacent.
+    link_at: Vec<u32>,
+    queue: CalendarQueue<EventKind>,
     now: SimTime,
-    seq: u64,
     stats: SimStats,
     mtu: u32,
     actions: Vec<Action>,
-    link_index: HashMap<(NodeId, NodeId), usize>,
     failed_links: Vec<sdm_topology::LinkId>,
     trace: Option<Vec<TraceEvent>>,
     trace_limit: usize,
     ecmp: EcmpMode,
     frag_mode: FragmentationMode,
     frag_seq: u64,
-    reassembly: HashMap<u64, ReassemblyBuffer>,
+    /// Per-split reassembly state, keyed by fragment id: the parent packet
+    /// stays parked in the arena until the last fragment arrives.
+    reassembly: HashMap<u64, FragState>,
     /// Per-device (service ticks per packet, busy-until time).
     service: Vec<(u64, SimTime)>,
 }
 
-struct ReassemblyBuffer {
-    needed: u16,
+/// Bookkeeping of one emulated fragmentation: fragments reference the
+/// parent packet (parked in the arena) instead of each carrying a clone of
+/// its header stack.
+struct FragState {
+    /// The original packet, parked in the arena until reassembly.
+    parent: PacketId,
     received: Vec<bool>,
+    /// Sum of payload bytes received so far.
     payload: u32,
-    /// the first-received fragment, used as the template to rebuild from
-    template: Packet,
+    /// Outermost TTL of the first-received fragment — the reassembled
+    /// whole resumes with it (all fragments follow the same path, so it
+    /// equals the TTL the whole packet would have had).
+    first_ttl: Option<u8>,
+    /// Wire bytes each fragment carries beyond its own single IP header
+    /// (the parent's tunnel stack and pending source-route segments).
+    extra_hdr: u32,
+    /// Whether the parent was tunnel-encapsulated at split time.
+    tunneled: bool,
 }
 
 /// Where a traced packet was observed.
@@ -390,25 +435,34 @@ impl Simulator {
         let topo = plan.topology().clone();
         let routes = topo.routing_tables();
         let addrs = AddressPlan::new(plan);
+        let n = topo.node_count();
         let n_links = topo.link_count();
-        let mut link_index = HashMap::with_capacity(n_links * 2);
+        let mut link_at = vec![NONE_U32; n * n];
         for i in 0..n_links {
             let (a, b, _) = topo.link(sdm_topology::LinkId::from_index(i));
-            link_index.insert((a, b), i);
-            link_index.insert((b, a), i);
+            link_at[a.index() * n + b.index()] = i as u32;
+            link_at[b.index() * n + a.index()] = i as u32;
         }
-        Simulator {
+        let mut stub_at_node = vec![NONE_U32; n];
+        for (i, &edge) in plan.edges().iter().enumerate() {
+            if stub_at_node[edge.index()] == NONE_U32 {
+                stub_at_node[edge.index()] = i as u32;
+            }
+        }
+        let mut sim = Simulator {
             topo,
             routes,
             addrs,
             gateways: plan.gateways().to_vec(),
             devices: Vec::new(),
-            addr_to_device: HashMap::new(),
-            stub_handler: HashMap::new(),
-            ingress_handler: HashMap::new(),
-            queue: BinaryHeap::new(),
+            arena: PacketArena::new(),
+            stub_handler: vec![None; plan.edges().len()],
+            ingress_handler: vec![None; n],
+            stub_at_node,
+            nearest_gw: vec![NONE_U32; n],
+            link_at,
+            queue: CalendarQueue::new(),
             now: SimTime::ZERO,
-            seq: 0,
             stats: SimStats {
                 delivered_per_stub: vec![0; addrs_len(plan)],
                 link_load: vec![0; n_links],
@@ -416,7 +470,6 @@ impl Simulator {
             },
             mtu: 1500,
             actions: Vec::new(),
-            link_index,
             failed_links: Vec::new(),
             trace: None,
             trace_limit: 0,
@@ -425,6 +478,23 @@ impl Simulator {
             frag_seq: 0,
             reassembly: HashMap::new(),
             service: Vec::new(),
+        };
+        sim.rebuild_gateway_table();
+        sim
+    }
+
+    /// Recomputes the per-node nearest-gateway table from the current
+    /// routing tables (the same `min` over `(distance, gateway)` the
+    /// routing step used to evaluate per packet).
+    fn rebuild_gateway_table(&mut self) {
+        for node in 0..self.topo.node_count() {
+            let best = self
+                .gateways
+                .iter()
+                .copied()
+                .filter_map(|g| self.routes.dist(NodeId::from_index(node), g).map(|d| (d, g)))
+                .min();
+            self.nearest_gw[node] = best.map_or(NONE_U32, |(_, g)| g.index() as u32);
         }
     }
 
@@ -463,6 +533,7 @@ impl Simulator {
         if !self.failed_links.contains(&link) {
             self.failed_links.push(link);
             self.routes = self.topo.routing_tables_excluding(&self.failed_links);
+            self.rebuild_gateway_table();
         }
     }
 
@@ -470,6 +541,7 @@ impl Simulator {
     pub fn restore_link(&mut self, link: sdm_topology::LinkId) {
         self.failed_links.retain(|&l| l != link);
         self.routes = self.topo.routing_tables_excluding(&self.failed_links);
+        self.rebuild_gateway_table();
     }
 
     /// Links currently failed.
@@ -532,6 +604,12 @@ impl Simulator {
         &self.stats
     }
 
+    /// The packet arena (exposed for allocation accounting in tests: the
+    /// forwarding fast path allocates exactly once per injected packet).
+    pub fn arena(&self) -> &PacketArena {
+        &self.arena
+    }
+
     /// Attaches a device to a router and assigns it a unique address from
     /// `172.16.0.0/12`. Returns the device id and its address.
     ///
@@ -553,10 +631,21 @@ impl Simulator {
             addr,
             attachment,
         });
-        self.addr_to_device.insert(addr, id);
         self.stats.device_received.push(0);
         self.service.push((0, SimTime::ZERO));
         (id, addr)
+    }
+
+    /// The device owning an address, if any. Device addresses are assigned
+    /// densely from `172.16.0.0/12` by [`Simulator::attach`], so this is
+    /// pure arithmetic — no table lookup on the per-hop path.
+    fn device_at(&self, a: Ipv4Addr) -> Option<DeviceId> {
+        let off = a.0.wrapping_sub(DEVICE_BASE + 1);
+        if (off as usize) < self.devices.len() {
+            Some(DeviceId(off))
+        } else {
+            None
+        }
     }
 
     /// Registers `dev` as the interceptor for traffic entering or leaving
@@ -567,8 +656,9 @@ impl Simulator {
     /// Panics if `dev` is unknown or the stub already has a handler.
     pub fn set_stub_handler(&mut self, stub: StubId, dev: DeviceId) {
         assert!(dev.index() < self.devices.len(), "unknown device {dev}");
-        let prev = self.stub_handler.insert(stub, dev);
-        assert!(prev.is_none(), "stub {stub} already has a handler");
+        let slot = &mut self.stub_handler[stub.index()];
+        assert!(slot.is_none(), "stub {stub} already has a handler");
+        *slot = Some(dev);
     }
 
     /// Injects an outbound packet originating in `stub` at the current time.
@@ -588,14 +678,16 @@ impl Simulator {
     pub fn inject_from_stub_at(&mut self, stub: StubId, mut pkt: Packet, at: SimTime) {
         assert!(at >= self.now, "cannot inject into the past");
         pkt.injected_at.get_or_insert(at.0);
-        match self.stub_handler.get(&stub) {
-            Some(&dev) => {
-                let at = self.device_arrival_time(dev, at, pkt.weight);
-                self.push(at, EventKind::DeviceRecv { dev, pkt });
+        let weight = pkt.weight;
+        let id = self.arena.alloc(pkt);
+        match self.stub_handler[stub.index()] {
+            Some(dev) => {
+                let at = self.device_arrival_time(dev, at, weight);
+                self.queue.push(at, EventKind::DeviceRecv { dev, pkt: id });
             }
             None => {
                 let node = self.addrs.edge_router(stub);
-                self.push(at, EventKind::Arrive { node, pkt });
+                self.queue.push(at, EventKind::Arrive { node, pkt: id });
             }
         }
     }
@@ -611,8 +703,9 @@ impl Simulator {
     /// Panics if `dev` is unknown or the router already has a handler.
     pub fn set_ingress_handler(&mut self, router: NodeId, dev: DeviceId) {
         assert!(dev.index() < self.devices.len(), "unknown device {dev}");
-        let prev = self.ingress_handler.insert(router, dev);
-        assert!(prev.is_none(), "router already has an ingress handler");
+        let slot = &mut self.ingress_handler[router.index()];
+        assert!(slot.is_none(), "router already has an ingress handler");
+        *slot = Some(dev);
     }
 
     /// Injects a packet directly at a router (e.g. traffic arriving from
@@ -620,12 +713,14 @@ impl Simulator {
     /// the packet is intercepted there first.
     pub fn inject_at_router(&mut self, node: NodeId, mut pkt: Packet) {
         pkt.injected_at.get_or_insert(self.now.0);
-        match self.ingress_handler.get(&node) {
-            Some(&dev) => {
-                let at = self.device_arrival_time(dev, self.now, pkt.weight);
-                self.push(at, EventKind::DeviceRecv { dev, pkt });
+        let weight = pkt.weight;
+        let id = self.arena.alloc(pkt);
+        match self.ingress_handler[node.index()] {
+            Some(dev) => {
+                let at = self.device_arrival_time(dev, self.now, weight);
+                self.queue.push(at, EventKind::DeviceRecv { dev, pkt: id });
             }
-            None => self.push(self.now, EventKind::Arrive { node, pkt }),
+            None => self.queue.push(self.now, EventKind::Arrive { node, pkt: id }),
         }
     }
 
@@ -640,25 +735,37 @@ impl Simulator {
 
     /// Processes a single event. Returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some((at, kind)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.now = ev.at;
-        match ev.kind {
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        match kind {
             EventKind::Arrive { node, pkt } => {
-                self.record_trace(self.now, TraceLocation::Router(node), pkt.original, pkt.weight);
-                self.route_step(node, pkt)
+                if self.trace.is_some() {
+                    let p = self.arena.get(pkt);
+                    let (flow, w) = (p.original, p.weight);
+                    self.record_trace(self.now, TraceLocation::Router(node), flow, w);
+                }
+                self.route_step(node, pkt);
             }
             EventKind::DeviceRecv { dev, pkt } => {
                 let Some(pkt) = self.maybe_reassemble(pkt) else {
                     return true; // fragment buffered, waiting for the rest
                 };
-                self.stats.device_received[dev.index()] += pkt.weight;
-                if matches!(pkt.kind, PacketKind::LabelReady(_)) {
-                    self.stats.control_received += pkt.weight;
+                let (flow, weight, is_control) = {
+                    let p = self.arena.get(pkt);
+                    (
+                        p.original,
+                        p.weight,
+                        matches!(p.kind, PacketKind::LabelReady(_)),
+                    )
+                };
+                self.stats.device_received[dev.index()] += weight;
+                if is_control {
+                    self.stats.control_received += weight;
                 }
-                self.record_trace(self.now, TraceLocation::Device(dev), pkt.original, pkt.weight);
+                self.record_trace(self.now, TraceLocation::Device(dev), flow, weight);
                 self.dispatch_device(dev, Some(pkt), None);
             }
             EventKind::Timer { dev, key } => {
@@ -668,14 +775,17 @@ impl Simulator {
         true
     }
 
-    fn dispatch_device(&mut self, dev: DeviceId, pkt: Option<Packet>, timer: Option<u64>) {
-        let slot = &mut self.devices[dev.index()];
+    fn dispatch_device(&mut self, dev: DeviceId, pkt: Option<PacketId>, timer: Option<u64>) {
         let mut actions = std::mem::take(&mut self.actions);
+        let slot = &mut self.devices[dev.index()];
+        let router = slot.router;
+        let attachment = slot.attachment;
         let mut ctx = DeviceCtx {
             now: self.now,
             dev,
             addr: slot.addr,
-            router: slot.router,
+            router,
+            arena: &mut self.arena,
             actions: &mut actions,
         };
         if let Some(p) = pkt {
@@ -684,47 +794,47 @@ impl Simulator {
         if let Some(k) = timer {
             slot.device.on_timer(&mut ctx, k);
         }
-        let router = slot.router;
-        let attachment = slot.attachment;
         for action in actions.drain(..) {
             match action {
                 Action::Forward(p) => {
                     let mut at = self.now;
                     if attachment == Attachment::OffPath {
-                        self.stats.device_link_hops += p.weight;
+                        self.stats.device_link_hops += self.arena.get(p).weight;
                         at = at.after(1);
                     }
-                    self.push(at, EventKind::Arrive { node: router, pkt: p });
+                    self.queue.push(at, EventKind::Arrive { node: router, pkt: p });
                 }
-                Action::DeliverLocal(p) => {
-                    if let Some(stub) = self.addrs.stub_at(router) {
-                        self.record_delivery(stub, &p);
-                    } else {
-                        self.stats.unroutable += p.weight;
+                Action::DeliverLocal(p) => match self.stub_at_node[router.index()] {
+                    NONE_U32 => {
+                        self.stats.unroutable += self.arena.get(p).weight;
+                        self.arena.free(p);
                     }
-                }
+                    stub => self.record_delivery(StubId(stub), p),
+                },
                 Action::SetTimer { delay, key } => {
                     let at = self.now.after(delay);
-                    self.push(at, EventKind::Timer { dev, key });
+                    self.queue.push(at, EventKind::Timer { dev, key });
                 }
             }
         }
         self.actions = actions;
     }
 
-    /// One routing step at `node` for `pkt`, per the outermost destination.
-    fn route_step(&mut self, node: NodeId, mut pkt: Packet) {
-        let dst = pkt.current_dst();
+    /// One routing step at `node` for the packet, per the outermost
+    /// destination.
+    fn route_step(&mut self, node: NodeId, id: PacketId) {
+        let dst = self.arena.get(id).current_dst();
 
         // Destination owned by a device?
-        if let Some(&dev) = self.addr_to_device.get(&dst) {
+        if let Some(dev) = self.device_at(dst) {
             let target_router = self.devices[dev.index()].router;
             if node == target_router {
-                let at = self.device_arrival_time(dev, self.now, pkt.weight);
-                self.push(at, EventKind::DeviceRecv { dev, pkt });
+                let weight = self.arena.get(id).weight;
+                let at = self.device_arrival_time(dev, self.now, weight);
+                self.queue.push(at, EventKind::DeviceRecv { dev, pkt: id });
                 return;
             }
-            self.forward_towards(node, target_router, pkt);
+            self.forward_towards(node, target_router, id);
             return;
         }
 
@@ -732,100 +842,125 @@ impl Simulator {
         if let Some(stub) = self.addrs.stub_of(dst) {
             let edge = self.addrs.edge_router(stub);
             if node == edge {
-                match self.stub_handler.get(&stub) {
-                    Some(&dev) => {
-                        let at = self.device_arrival_time(dev, self.now, pkt.weight);
-                        self.push(at, EventKind::DeviceRecv { dev, pkt });
+                match self.stub_handler[stub.index()] {
+                    Some(dev) => {
+                        let weight = self.arena.get(id).weight;
+                        let at = self.device_arrival_time(dev, self.now, weight);
+                        self.queue.push(at, EventKind::DeviceRecv { dev, pkt: id });
                     }
                     None => {
-                        if let Some(whole) = self.maybe_reassemble(pkt) {
-                            self.record_delivery(stub, &whole);
+                        if let Some(whole) = self.maybe_reassemble(id) {
+                            self.record_delivery(stub, whole);
                         }
                     }
                 }
                 return;
             }
-            self.forward_towards(node, edge, pkt);
+            self.forward_towards(node, edge, id);
             return;
         }
 
         // External destination: leave through the nearest gateway.
         if self.topo.kind(node) == NodeKind::Gateway {
-            if let Some(whole) = self.maybe_reassemble(pkt) {
-                self.stats.delivered_external += whole.weight;
-                self.record_latency(&whole);
-                self.record_trace(
-                    self.now,
-                    TraceLocation::External(node),
-                    whole.original,
-                    whole.weight,
-                );
+            if let Some(whole) = self.maybe_reassemble(id) {
+                let (flow, weight) = {
+                    let p = self.arena.get(whole);
+                    (p.original, p.weight)
+                };
+                self.stats.delivered_external += weight;
+                self.record_latency(whole);
+                self.record_trace(self.now, TraceLocation::External(node), flow, weight);
+                self.arena.free(whole);
             }
             return;
         }
-        let gw = self
-            .gateways
-            .iter()
-            .copied()
-            .filter_map(|g| self.routes.dist(node, g).map(|d| (d, g)))
-            .min();
-        match gw {
-            Some((_, g)) => self.forward_towards(node, g, pkt),
-            None => {
-                self.stats.unroutable += pkt.weight;
-                let _ = &mut pkt;
+        match self.nearest_gw[node.index()] {
+            NONE_U32 => {
+                self.stats.unroutable += self.arena.get(id).weight;
+                self.arena.free(id);
             }
+            g => self.forward_towards(node, NodeId::from_index(g as usize), id),
         }
     }
 
-    fn forward_towards(&mut self, node: NodeId, target: NodeId, mut pkt: Packet) {
-        let Some(nh) = self.pick_next_hop(node, target, &pkt) else {
-            self.stats.unroutable += pkt.weight;
+    fn forward_towards(&mut self, node: NodeId, target: NodeId, id: PacketId) {
+        let Some(nh) = self.pick_next_hop(node, target, id) else {
+            self.stats.unroutable += self.arena.get(id).weight;
+            self.arena.free(id);
             return;
         };
         // TTL on the header routers actually forward on.
-        let hdr = pkt.outermost_mut();
-        if hdr.ttl == 0 {
-            self.stats.dropped_ttl += pkt.weight;
+        let expired = {
+            let hdr = self.arena.get_mut(id).outermost_mut();
+            if hdr.ttl == 0 {
+                true
+            } else {
+                hdr.ttl -= 1;
+                false
+            }
+        };
+        if expired {
+            self.stats.dropped_ttl += self.arena.get(id).weight;
+            self.arena.free(id);
             return;
         }
-        hdr.ttl -= 1;
 
-        self.stats.link_hops += pkt.weight;
+        let (weight, wire, payload, encap, frag) = {
+            let p = self.arena.get(id);
+            (
+                p.weight,
+                p.wire_len(),
+                p.payload_len,
+                p.is_encapsulated(),
+                p.frag,
+            )
+        };
+        // A fragment's own struct carries one header; the rest of its wire
+        // footprint (the parent's tunnel stack / source route) lives in the
+        // split's FragState.
+        let (wire, encap) = match frag {
+            Some(info) => match self.reassembly.get(&info.id) {
+                Some(st) => (wire + st.extra_hdr, st.tunneled),
+                None => (wire, encap),
+            },
+            None => (wire, encap),
+        };
+
+        self.stats.link_hops += weight;
         if let Some(link) = self.link_between(node, nh) {
-            self.stats.link_load[link] += pkt.weight;
+            self.stats.link_load[link] += weight;
         }
-        if pkt.is_encapsulated() {
-            self.stats.encapsulated_hops += pkt.weight;
+        if encap {
+            self.stats.encapsulated_hops += weight;
         }
         // Every byte beyond the bare packet (tunnel headers, pending
         // source-route segments) is steering overhead on this link.
-        let extra = (pkt.wire_len() - pkt.payload_len - IP_HEADER_LEN) as u64;
+        let extra = (wire - payload - IP_HEADER_LEN) as u64;
         if extra > 0 {
-            self.stats.extra_header_bytes += pkt.weight * extra;
+            self.stats.extra_header_bytes += weight * extra;
         }
-        if pkt.wire_len() > self.mtu {
-            self.stats.frag_events += pkt.weight;
-            if let Some(fragments) = self.try_fragment(&pkt) {
-                let at = self.now.after(1);
-                for f in fragments {
-                    self.push(at, EventKind::Arrive { node: nh, pkt: f });
-                }
+        if wire > self.mtu {
+            self.stats.frag_events += weight;
+            if self.try_fragment(id, nh) {
                 return;
             }
         }
         let at = self.now.after(1);
-        self.push(at, EventKind::Arrive { node: nh, pkt });
+        self.queue.push(at, EventKind::Arrive { node: nh, pkt: id });
     }
 
     fn link_between(&self, a: NodeId, b: NodeId) -> Option<usize> {
-        self.link_index.get(&(a, b)).copied()
+        let n = self.topo.node_count();
+        match self.link_at[a.index() * n + b.index()] {
+            NONE_U32 => None,
+            i => Some(i as usize),
+        }
     }
 
-    /// The next hop for `pkt` from `node` towards `target`: the
+    /// The next hop for the packet from `node` towards `target`: the
     /// deterministic table entry, or under ECMP a flow-hash pick among all
     /// equal-cost next hops.
-    fn pick_next_hop(&self, node: NodeId, target: NodeId, pkt: &Packet) -> Option<NodeId> {
+    fn pick_next_hop(&self, node: NodeId, target: NodeId, id: PacketId) -> Option<NodeId> {
         match self.ecmp {
             EcmpMode::Disabled => self.routes.next_hop(node, target),
             EcmpMode::FlowHash => {
@@ -847,7 +982,9 @@ impl Simulator {
                     return self.routes.next_hop(node, target);
                 }
                 // flow-sticky pick, decorrelated per router
-                let mut z = pkt
+                let mut z = self
+                    .arena
+                    .get(id)
                     .original
                     .stable_hash()
                     .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(node.index() as u64 + 1));
@@ -859,90 +996,121 @@ impl Simulator {
         }
     }
 
-    /// Consumes a fragment into the reassembly buffer; returns the whole
-    /// packet once complete, `None` while fragments are outstanding.
-    fn maybe_reassemble(&mut self, pkt: Packet) -> Option<Packet> {
-        let Some(info) = pkt.frag else {
-            return Some(pkt);
+    /// Consumes a fragment into its split's reassembly state; returns the
+    /// parked parent once complete, `None` while fragments are outstanding.
+    /// Non-fragments pass straight through.
+    fn maybe_reassemble(&mut self, id: PacketId) -> Option<PacketId> {
+        let Some(info) = self.arena.get(id).frag else {
+            return Some(id);
         };
-        let buf = self
-            .reassembly
-            .entry(info.id)
-            .or_insert_with(|| ReassemblyBuffer {
-                needed: info.count,
-                received: vec![false; info.count as usize],
-                payload: 0,
-                template: pkt.clone(),
-            });
-        if !buf.received[info.index as usize] {
-            buf.received[info.index as usize] = true;
-            buf.payload += pkt.payload_len;
+        let (frag_ttl, frag_payload) = {
+            let p = self.arena.get(id);
+            (p.inner.ttl, p.payload_len)
+        };
+        self.arena.free(id);
+        let st = self.reassembly.get_mut(&info.id)?; // unknown split: drop
+        if !st.received[info.index as usize] {
+            st.received[info.index as usize] = true;
+            st.payload += frag_payload;
+            if st.first_ttl.is_none() {
+                st.first_ttl = Some(frag_ttl);
+            }
         }
-        if buf.received.iter().all(|&r| r) {
-            let buf = self.reassembly.remove(&info.id).expect("just present");
-            let mut whole = buf.template;
-            whole.payload_len = buf.payload;
-            whole.frag = None;
-            debug_assert_eq!(buf.needed as usize, buf.received.len());
+        if st.received.iter().all(|&r| r) {
+            let st = self.reassembly.remove(&info.id).expect("just present");
             self.stats.reassembly_events += 1;
+            let ttl = st.first_ttl.expect("at least one fragment received");
+            let whole = st.parent;
+            let p = self.arena.get_mut(whole);
+            p.payload_len = st.payload;
+            p.outermost_mut().ttl = ttl;
+            p.frag = None;
             Some(whole)
         } else {
             None
         }
     }
 
-    /// Splits an over-MTU packet into fragments that each fit the MTU.
-    /// Returns `None` when emulation does not apply (aggregates, control
-    /// packets, already-fragmented packets).
-    fn try_fragment(&mut self, pkt: &Packet) -> Option<Vec<Packet>> {
-        if self.frag_mode != FragmentationMode::Emulate
-            || pkt.weight != 1
-            || pkt.frag.is_some()
-            || !matches!(pkt.kind, PacketKind::Data)
+    /// Splits an over-MTU packet into fragments that each fit the MTU and
+    /// schedules them towards `nh`; the parent parks in the arena until
+    /// reassembly. Returns false when emulation does not apply (aggregates,
+    /// control packets, already-fragmented packets) — the caller then
+    /// forwards the packet whole.
+    fn try_fragment(&mut self, id: PacketId, nh: NodeId) -> bool {
+        let (weight, wire, payload, kind_data, already_frag) = {
+            let p = self.arena.get(id);
+            (
+                p.weight,
+                p.wire_len(),
+                p.payload_len,
+                matches!(p.kind, PacketKind::Data),
+                p.frag.is_some(),
+            )
+        };
+        if self.frag_mode != FragmentationMode::Emulate || weight != 1 || already_frag || !kind_data
         {
-            return None;
+            return false;
         }
-        let headers = pkt.wire_len() - pkt.payload_len;
-        let chunk = self.mtu.checked_sub(headers)?.max(8);
-        let count = pkt.payload_len.div_ceil(chunk).max(1);
+        let headers = wire - payload;
+        let Some(chunk) = self.mtu.checked_sub(headers) else {
+            return false;
+        };
+        let chunk = chunk.max(8);
+        let count = payload.div_ceil(chunk).max(1);
         if count <= 1 || count > u16::MAX as u32 {
-            return None;
+            return false;
         }
         self.frag_seq += 1;
-        let id = self.frag_seq;
-        let mut fragments = Vec::with_capacity(count as usize);
-        let mut remaining = pkt.payload_len;
+        let split_id = self.frag_seq;
+        self.reassembly.insert(
+            split_id,
+            FragState {
+                parent: id,
+                received: vec![false; count as usize],
+                payload: 0,
+                first_ttl: None,
+                extra_hdr: headers - IP_HEADER_LEN,
+                tunneled: self.arena.get(id).is_encapsulated(),
+            },
+        );
+        let at = self.now.after(1);
+        let mut remaining = payload;
         for index in 0..count {
-            let mut f = pkt.clone();
-            f.payload_len = remaining.min(chunk);
-            remaining -= f.payload_len;
-            f.frag = Some(FragInfo {
-                id,
-                index: index as u16,
-                count: count as u16,
-            });
-            fragments.push(f);
+            let flen = remaining.min(chunk);
+            remaining -= flen;
+            let frag = self.arena.get(id).fragment_of(
+                FragInfo {
+                    id: split_id,
+                    index: index as u16,
+                    count: count as u16,
+                },
+                flen,
+            );
+            let fid = self.arena.alloc(frag);
+            self.queue.push(at, EventKind::Arrive { node: nh, pkt: fid });
         }
         self.stats.fragments_created += count as u64;
-        Some(fragments)
+        true
     }
 
-    fn record_delivery(&mut self, stub: StubId, pkt: &Packet) {
-        self.stats.delivered += pkt.weight;
-        self.stats.delivered_per_stub[stub.index()] += pkt.weight;
-        self.record_latency(pkt);
-        self.record_trace(
-            self.now,
-            TraceLocation::Delivered(stub),
-            pkt.original,
-            pkt.weight,
-        );
+    fn record_delivery(&mut self, stub: StubId, id: PacketId) {
+        let (flow, weight) = {
+            let p = self.arena.get(id);
+            (p.original, p.weight)
+        };
+        self.stats.delivered += weight;
+        self.stats.delivered_per_stub[stub.index()] += weight;
+        self.record_latency(id);
+        self.record_trace(self.now, TraceLocation::Delivered(stub), flow, weight);
+        self.arena.free(id);
     }
 
-    fn record_latency(&mut self, pkt: &Packet) {
-        if let Some(t0) = pkt.injected_at {
+    fn record_latency(&mut self, id: PacketId) {
+        let p = self.arena.get(id);
+        if let Some(t0) = p.injected_at {
+            let weight = p.weight;
             let lat = self.now.0.saturating_sub(t0);
-            self.stats.latency_total += lat * pkt.weight;
+            self.stats.latency_total += lat * weight;
             self.stats.latency_max = self.stats.latency_max.max(lat);
         }
     }
@@ -971,12 +1139,6 @@ impl Simulator {
         self.stats.device_wait_max = self.stats.device_wait_max.max(wait);
         self.service[dev.index()].1 = start.after(ticks * weight);
         start
-    }
-
-    fn push(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Queued { at, seq, kind }));
     }
 }
 
@@ -1035,21 +1197,49 @@ mod tests {
         assert_eq!(sim.stats().delivered, 0);
     }
 
+    /// One arena allocation per injected packet: the plain forwarding path
+    /// must never clone packets, however many hops they take.
+    #[test]
+    fn forwarding_allocates_once_per_packet() {
+        let plan = campus(1);
+        let mut sim = Simulator::new(&plan);
+        for i in 0..50u32 {
+            let ft = FiveTuple {
+                src: sim.addresses().host(StubId(i % 10), i),
+                dst: sim.addresses().host(StubId((i + 3) % 10), i),
+                src_port: 1000 + i as u16,
+                dst_port: 80,
+                proto: Protocol::Tcp,
+            };
+            sim.inject_from_stub(StubId(i % 10), Packet::data(ft, 900));
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.stats().delivered, 50);
+        assert!(sim.stats().link_hops >= 100, "packets crossed the core");
+        assert_eq!(
+            sim.arena().allocations(),
+            50,
+            "forwarding must not allocate beyond the injection"
+        );
+        assert_eq!(sim.arena().in_use(), 0, "all slots freed on delivery");
+    }
+
     /// A device that tunnels every packet to a peer device, which
     /// decapsulates and forwards to the real destination.
     struct TunnelEntry {
         peer: Ipv4Addr,
     }
     impl Device for TunnelEntry {
-        fn receive(&mut self, ctx: &mut DeviceCtx<'_>, mut pkt: Packet) {
-            pkt.encapsulate(ctx.addr(), self.peer);
+        fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: PacketId) {
+            let (entry, peer) = (ctx.addr(), self.peer);
+            ctx.pkt_mut(pkt).encapsulate(entry, peer);
             ctx.forward(pkt);
         }
     }
     struct TunnelExit;
     impl Device for TunnelExit {
-        fn receive(&mut self, ctx: &mut DeviceCtx<'_>, mut pkt: Packet) {
-            pkt.decapsulate();
+        fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: PacketId) {
+            ctx.pkt_mut(pkt).decapsulate();
             ctx.forward(pkt);
         }
     }
@@ -1137,7 +1327,8 @@ mod tests {
         fired: std::sync::Arc<std::sync::atomic::AtomicU64>,
     }
     impl Device for TimerDevice {
-        fn receive(&mut self, ctx: &mut DeviceCtx<'_>, _pkt: Packet) {
+        fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: PacketId) {
+            ctx.drop_pkt(pkt);
             ctx.set_timer(10, 42);
         }
         fn on_timer(&mut self, _ctx: &mut DeviceCtx<'_>, key: u64) {
@@ -1200,7 +1391,9 @@ mod tests {
     fn control_packets_counted() {
         struct Sink;
         impl Device for Sink {
-            fn receive(&mut self, _ctx: &mut DeviceCtx<'_>, _pkt: Packet) {}
+            fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: PacketId) {
+                ctx.drop_pkt(pkt);
+            }
         }
         let plan = campus(1);
         let mut sim = Simulator::new(&plan);

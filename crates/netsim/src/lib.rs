@@ -45,14 +45,18 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod arena;
 mod engine;
 mod packet;
+mod queue;
 
 pub use addr::{AddressPlan, Ipv4Addr, ParseAddrError, Prefix, StubId};
+pub use arena::{PacketArena, PacketId};
 pub use engine::{
     preassigned_device_addr, Attachment, Device, DeviceCtx, DeviceId, EcmpMode,
     FragmentationMode, SimStats, SimTime, Simulator, TraceEvent, TraceLocation,
 };
+pub use queue::CalendarQueue;
 pub use packet::{
     FiveTuple, FragInfo, Ipv4Header, Label, Packet, PacketKind, Protocol, DEFAULT_TTL,
     IP_HEADER_LEN, SEGMENT_LEN,

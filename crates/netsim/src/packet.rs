@@ -297,6 +297,32 @@ impl Packet {
         }
     }
 
+    /// Creates one emulated IP fragment of this packet carrying
+    /// `payload_len` payload bytes.
+    ///
+    /// The fragment is deliberately lightweight: it carries only the header
+    /// routers currently forward on (the outermost one) and allocates
+    /// nothing — the parent keeps its tunnel stack and source route, and
+    /// the engine accounts the parent's extra header bytes per fragment
+    /// separately. Fragments always have weight 1 (aggregates are never
+    /// fragmented).
+    pub fn fragment_of(&self, info: FragInfo, payload_len: u32) -> Packet {
+        Packet {
+            inner: *self.outermost(),
+            outer: Vec::new(),
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            label: None,
+            payload_len,
+            weight: 1,
+            kind: PacketKind::Data,
+            original: self.original,
+            source_route: Vec::new(),
+            frag: Some(info),
+            injected_at: self.injected_at,
+        }
+    }
+
     /// The flow identifier as seen in the *current inner* header (after any
     /// label-switching rewrite of the destination).
     pub fn five_tuple(&self) -> FiveTuple {

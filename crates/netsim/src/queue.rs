@@ -1,0 +1,234 @@
+//! The event queue of the simulator: a calendar (bucket) queue over exact
+//! [`SimTime`] ticks with a binary-heap fallback for far-future events.
+//!
+//! Discrete-event traffic simulation schedules almost everything one link
+//! traversal (= one tick) ahead, so a ring of per-tick buckets covering the
+//! window `[cur, cur + W)` turns push and pop into O(1) vector operations —
+//! no sift-up/down, no comparator, no moving payloads around a heap. Only
+//! genuinely far-future events (long timers, deep service-queue backlogs)
+//! overflow into a conventional heap and migrate into the ring as the
+//! window advances.
+//!
+//! # Ordering contract
+//!
+//! Pops are ordered by time, then FIFO within a tick — exactly the
+//! `(at, seq)` order of the `BinaryHeap<Reverse<Queued>>` implementation
+//! this replaces (property-tested against it in `tests/proptests.rs`).
+//! The FIFO argument: the coverage window end `cur + W` only grows, and it
+//! crosses any tick `t` exactly once. Every push for `t` made *before* the
+//! crossing goes to the heap (and carries a smaller sequence number than
+//! any later push); every push after goes to the bucket. Migration drains
+//! the heap in `(at, seq)` order into the bucket tail at the moment of the
+//! crossing, before any bucket push for `t` can occur — so bucket append
+//! order equals global push order for every tick.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::engine::SimTime;
+
+/// Number of exact-tick buckets in the ring. Schedules within this many
+/// ticks of the current time (virtually all simulation traffic) never touch
+/// the heap.
+const WINDOW: u64 = 1024;
+
+struct FarEntry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for FarEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for FarEntry<T> {}
+impl<T> PartialOrd for FarEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for FarEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A time-ordered, FIFO-within-tick event queue (see module docs).
+pub struct CalendarQueue<T> {
+    /// Ring of buckets; bucket `t % WINDOW` holds events for tick `t` when
+    /// `t` lies inside `[cur, cur + WINDOW)`.
+    buckets: Vec<VecDeque<T>>,
+    /// The tick currently being drained; never decreases.
+    cur: u64,
+    /// Events currently stored in the ring.
+    ring_len: usize,
+    /// Far-future events, ordered by `(at, seq)`.
+    far: BinaryHeap<Reverse<FarEntry<T>>>,
+    /// Monotonic push counter, recorded for heap entries so equal-time
+    /// entries pop in push order.
+    seq: u64,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// An empty queue starting at time zero.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..WINDOW).map(|_| VecDeque::new()).collect(),
+            cur: 0,
+            ring_len: 0,
+            far: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Number of events stored.
+    pub fn len(&self) -> usize {
+        self.ring_len + self.far.len()
+    }
+
+    /// Whether no events are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `item` at `at`.
+    ///
+    /// `at` must not lie before the last popped time (the simulated past);
+    /// this is debug-asserted, mirroring the engine's invariant.
+    pub fn push(&mut self, at: SimTime, item: T) {
+        debug_assert!(at.0 >= self.cur, "cannot schedule into the simulated past");
+        let seq = self.seq;
+        self.seq += 1;
+        if at.0 < self.cur + WINDOW {
+            self.buckets[(at.0 % WINDOW) as usize].push_back(item);
+            self.ring_len += 1;
+        } else {
+            self.far.push(Reverse(FarEntry { at: at.0, seq, item }));
+        }
+    }
+
+    /// Removes and returns the earliest event, FIFO within a tick.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        if self.ring_len == 0 {
+            // Nothing inside the window: jump straight to the heap's next
+            // event time (skipping the empty gap) and refill the ring.
+            let next_at = self.far.peek()?.0.at;
+            self.cur = next_at;
+            self.migrate();
+        }
+        loop {
+            let bucket = &mut self.buckets[(self.cur % WINDOW) as usize];
+            if let Some(item) = bucket.pop_front() {
+                self.ring_len -= 1;
+                return Some((SimTime(self.cur), item));
+            }
+            // This tick is exhausted; advancing uncovers exactly one new
+            // tick (cur + WINDOW - 1 after the increment) at the window's
+            // far end — pull any heap events that now fit.
+            self.cur += 1;
+            self.migrate();
+        }
+    }
+
+    /// Moves every heap event inside `[cur, cur + WINDOW)` into the ring,
+    /// in `(at, seq)` order.
+    fn migrate(&mut self) {
+        while let Some(Reverse(top)) = self.far.peek() {
+            if top.at >= self.cur + WINDOW {
+                break;
+            }
+            let Reverse(e) = self.far.pop().expect("peeked");
+            debug_assert!(e.at >= self.cur, "heap held a past event");
+            self.buckets[(e.at % WINDOW) as usize].push_back(e.item);
+            self.ring_len += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_then_fifo_order() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime(5), "a");
+        q.push(SimTime(1), "b");
+        q.push(SimTime(5), "c");
+        q.push(SimTime(1), "d");
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            popped,
+            vec![
+                (SimTime(1), "b"),
+                (SimTime(1), "d"),
+                (SimTime(5), "a"),
+                (SimTime(5), "c"),
+            ]
+        );
+    }
+
+    #[test]
+    fn far_future_events_survive_and_order() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime(3), 1u32);
+        q.push(SimTime(WINDOW * 10), 2); // far beyond the window
+        q.push(SimTime(WINDOW * 10), 3);
+        q.push(SimTime(WINDOW + 5), 4); // just beyond
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some((SimTime(3), 1)));
+        assert_eq!(q.pop(), Some((SimTime(WINDOW + 5), 4)));
+        assert_eq!(q.pop(), Some((SimTime(WINDOW * 10), 2)));
+        assert_eq!(q.pop(), Some((SimTime(WINDOW * 10), 3)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_at_current_tick_is_fifo() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime(2), 1u32);
+        q.push(SimTime(2), 2);
+        assert_eq!(q.pop(), Some((SimTime(2), 1)));
+        // processing event 1 schedules another event at the same tick
+        q.push(SimTime(2), 3);
+        assert_eq!(q.pop(), Some((SimTime(2), 2)));
+        assert_eq!(q.pop(), Some((SimTime(2), 3)));
+    }
+
+    #[test]
+    fn heap_to_ring_migration_preserves_fifo_per_tick() {
+        let mut q = CalendarQueue::new();
+        let t = WINDOW + 50; // starts outside the window
+        q.push(SimTime(t), 1u32); // heap-bound
+        q.push(SimTime(0), 0);
+        q.push(SimTime(60), 9);
+        assert_eq!(q.pop(), Some((SimTime(0), 0)));
+        // advancing to 60 slides the window across t, migrating entry 1
+        assert_eq!(q.pop(), Some((SimTime(60), 9)));
+        // these now land in t's bucket directly, behind the migrated entry
+        q.push(SimTime(t), 2);
+        q.push(SimTime(t), 3);
+        assert_eq!(q.pop(), Some((SimTime(t), 1)));
+        assert_eq!(q.pop(), Some((SimTime(t), 2)));
+        assert_eq!(q.pop(), Some((SimTime(t), 3)));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "past")]
+    fn pushing_into_the_past_is_rejected() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime(10), ());
+        let _ = q.pop();
+        q.push(SimTime(3), ());
+    }
+}

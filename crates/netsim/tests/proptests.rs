@@ -16,15 +16,13 @@ struct ChainHop {
 }
 
 impl Device for ChainHop {
-    fn receive(&mut self, ctx: &mut DeviceCtx<'_>, mut pkt: Packet) {
-        pkt.decapsulate();
-        match self.next {
-            Some(next) => {
-                pkt.encapsulate(ctx.addr(), next);
-                ctx.forward(pkt);
-            }
-            None => ctx.forward(pkt),
+    fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: sdm_netsim::PacketId) {
+        ctx.pkt_mut(pkt).decapsulate();
+        if let Some(next) = self.next {
+            let here = ctx.addr();
+            ctx.pkt_mut(pkt).encapsulate(here, next);
         }
+        ctx.forward(pkt);
     }
 }
 
@@ -385,9 +383,9 @@ mod fragmentation {
     fn tunnel_endpoint_reassembles_before_device() {
         struct Exit;
         impl Device for Exit {
-            fn receive(&mut self, ctx: &mut DeviceCtx<'_>, mut pkt: Packet) {
-                assert!(pkt.frag.is_none(), "device must see whole packets");
-                pkt.decapsulate();
+            fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: sdm_netsim::PacketId) {
+                assert!(ctx.pkt(pkt).frag.is_none(), "device must see whole packets");
+                ctx.pkt_mut(pkt).decapsulate();
                 ctx.forward(pkt);
             }
         }
@@ -439,8 +437,8 @@ mod queueing {
 
     struct Sink;
     impl Device for Sink {
-        fn receive(&mut self, ctx: &mut DeviceCtx<'_>, mut pkt: Packet) {
-            pkt.decapsulate();
+        fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: sdm_netsim::PacketId) {
+            ctx.pkt_mut(pkt).decapsulate();
             ctx.forward(pkt);
         }
     }
@@ -461,7 +459,7 @@ mod queueing {
         sim.run_until_idle();
         let s = sim.stats();
         assert_eq!(s.delivered, 5);
-        assert_eq!(s.device_wait_total, 0 + 10 + 20 + 30 + 40);
+        assert_eq!(s.device_wait_total, 10 + 20 + 30 + 40);
         assert_eq!(s.device_wait_max, 40);
     }
 
@@ -522,8 +520,8 @@ mod latency {
     fn queueing_inflates_latency() {
         struct Sink;
         impl Device for Sink {
-            fn receive(&mut self, ctx: &mut DeviceCtx<'_>, mut pkt: Packet) {
-                pkt.decapsulate();
+            fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: sdm_netsim::PacketId) {
+                ctx.pkt_mut(pkt).decapsulate();
                 ctx.forward(pkt);
             }
         }
@@ -542,7 +540,7 @@ mod latency {
         assert_eq!(s.delivered, 4);
         // the last packet waited 300 ticks at the device
         assert!(s.latency_max >= 300, "latency_max = {}", s.latency_max);
-        assert_eq!(s.device_wait_total, 0 + 100 + 200 + 300);
+        assert_eq!(s.device_wait_total, 100 + 200 + 300);
     }
 
     #[test]
@@ -554,5 +552,94 @@ mod latency {
         sim.run_until_idle();
         // latency measured from the (late) injection time, not from zero
         assert!(sim.stats().latency_max < 100, "{}", sim.stats().latency_max);
+    }
+}
+
+mod calendar_queue {
+    //! The calendar queue must be observationally identical to the
+    //! `BinaryHeap<Reverse<(time, seq)>>` it replaced: pops come out in
+    //! nondecreasing time order, FIFO within a tick, regardless of how the
+    //! schedule mixes near-future (bucketed) and far-future (heap
+    //! overflow) times or interleaves pushes and pops.
+
+    use super::*;
+    use sdm_netsim::{CalendarQueue, SimTime};
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// Reference model: the old global heap with an explicit FIFO
+    /// sequence number as tie-break.
+    #[derive(Default)]
+    struct HeapModel {
+        heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+        seq: u64,
+    }
+
+    impl HeapModel {
+        fn push(&mut self, at: u64, item: u32) {
+            self.heap.push(Reverse((at, self.seq, item)));
+            self.seq += 1;
+        }
+        fn pop(&mut self) -> Option<(u64, u32)> {
+            self.heap.pop().map(|Reverse((at, _, item))| (at, item))
+        }
+    }
+
+    #[test]
+    fn pop_order_matches_binary_heap() {
+        check(
+            "pop_order_matches_binary_heap",
+            &Config::with_cases(96),
+            |rng: &mut StdRng| {
+                let ops = rng.gen_range(1usize..400);
+                // (is_push, time-delta) pairs; deltas mix the bucketed
+                // window (< 1024) with far-future heap spills.
+                (0..ops)
+                    .map(|_| {
+                        let push = rng.gen_range(0u32..3) != 0;
+                        let delta = match rng.gen_range(0u32..4) {
+                            0 => rng.gen_range(0u64..4),        // same tick
+                            1 => rng.gen_range(0u64..1024),     // in window
+                            2 => rng.gen_range(1024u64..4096),  // spills
+                            _ => rng.gen_range(0u64..100_000),  // far future
+                        };
+                        (push, delta)
+                    })
+                    .collect::<Vec<(bool, u64)>>()
+            },
+            |ops| {
+                let mut cq: CalendarQueue<u32> = CalendarQueue::new();
+                let mut model = HeapModel::default();
+                let mut now = 0u64; // sim clock: last popped time
+                let mut next_item = 0u32;
+                for &(push, delta) in ops {
+                    if push {
+                        let at = now + delta;
+                        cq.push(SimTime(at), next_item);
+                        model.push(at, next_item);
+                        next_item += 1;
+                    } else {
+                        let got = cq.pop().map(|(t, i)| (t.0, i));
+                        let want = model.pop();
+                        prop_assert_eq!(got, want);
+                        if let Some((t, _)) = got {
+                            now = t;
+                        }
+                    }
+                    prop_assert_eq!(cq.len(), model.heap.len());
+                }
+                // Drain both: the tails must agree too.
+                loop {
+                    let got = cq.pop().map(|(t, i)| (t.0, i));
+                    let want = model.pop();
+                    prop_assert_eq!(got, want);
+                    if got.is_none() {
+                        break;
+                    }
+                }
+                prop_assert!(cq.is_empty());
+                Ok(())
+            },
+        );
     }
 }

@@ -46,6 +46,12 @@ pub struct FlowTableStats {
 /// Soft-state flow cache: `⟨f, a⟩` pairs keyed by 5-tuple, timed out after
 /// `ttl` ticks without a matching packet (§III.D).
 ///
+/// Expiry boundary: an entry last refreshed at time `t` is alive for
+/// lookups at `t .. t + ttl - 1` and expired from `t + ttl` on — i.e. it
+/// lives for exactly `ttl` ticks. [`FlowTable::lookup`] and
+/// [`FlowTable::purge_expired`] apply the same rule, so a purge followed
+/// by a lookup at the same `now` can never resurrect an entry.
+///
 /// # Example
 ///
 /// ```
@@ -68,6 +74,11 @@ pub struct FlowTable {
     entries: HashMap<FiveTuple, FlowEntry>,
     ttl: u64,
     stats: FlowTableStats,
+    /// Latest `now` observed, for the monotonicity debug-assert: lookups
+    /// use `now - last_seen` with a saturating subtraction, so a clock
+    /// that runs backwards would silently read refreshed-in-the-future
+    /// entries as fresh forever instead of failing loudly.
+    watermark: SimTime,
 }
 
 impl FlowTable {
@@ -83,17 +94,28 @@ impl FlowTable {
             entries: HashMap::new(),
             ttl,
             stats: FlowTableStats::default(),
+            watermark: SimTime(0),
         }
     }
 
     /// Looks up a flow, refreshing its soft state. `weight` packets are
     /// accounted to the hit/miss counters. Expired entries are removed and
-    /// count as misses.
+    /// count as misses. An entry expires exactly `ttl` ticks after its
+    /// last refresh (see the type-level docs for the boundary rule).
+    ///
+    /// Debug builds panic if `now` moves backwards across calls; release
+    /// builds saturate, which would otherwise mask the error.
     pub fn lookup(&mut self, ft: &FiveTuple, now: SimTime, weight: u64) -> Option<&FlowEntry> {
+        debug_assert!(
+            now >= self.watermark,
+            "flow-table clock moved backwards: {now:?} < {:?}",
+            self.watermark
+        );
+        self.watermark = now;
         // Borrow-checker friendly: decide fate first, then reborrow.
         let fate = match self.entries.get(ft) {
             None => 0u8,
-            Some(e) if now.0.saturating_sub(e.last_seen.0) > self.ttl => 1,
+            Some(e) if now.0.saturating_sub(e.last_seen.0) >= self.ttl => 1,
             Some(_) => 2,
         };
         match fate {
@@ -175,12 +197,13 @@ impl FlowTable {
     }
 
     /// Drops every entry not refreshed within the ttl as of `now`; returns
-    /// how many were dropped.
+    /// how many were dropped. Uses the same boundary as [`FlowTable::lookup`]:
+    /// an entry whose age reached `ttl` is dropped.
     pub fn purge_expired(&mut self, now: SimTime) -> usize {
         let ttl = self.ttl;
         let before = self.entries.len();
         self.entries
-            .retain(|_, e| now.0.saturating_sub(e.last_seen.0) <= ttl);
+            .retain(|_, e| now.0.saturating_sub(e.last_seen.0) < ttl);
         let dropped = before - self.entries.len();
         self.stats.expired += dropped as u64;
         dropped
@@ -326,10 +349,58 @@ mod tests {
         for p in 0..10 {
             t.insert_positive(ft(p), PolicyId(0), ActionList::permit(), SimTime(p as u64));
         }
-        // at t=56 with ttl 50, entries with last_seen < 6 are stale
+        // at t=56 with ttl 50, entries with last_seen <= 6 have reached
+        // age >= ttl and are stale
         let dropped = t.purge_expired(SimTime(56));
-        assert_eq!(dropped, 6);
-        assert_eq!(t.len(), 4);
+        assert_eq!(dropped, 7);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn expiry_boundary_exact_ttl() {
+        // positive entry: alive at age ttl-1, expired at exactly ttl
+        let mut t = FlowTable::new(100);
+        t.insert_positive(ft(1), PolicyId(0), ActionList::permit(), SimTime(0));
+        assert!(t.lookup(&ft(1), SimTime(99), 1).is_some(), "age ttl-1 alive");
+        // re-insert to reset last_seen (lookup above refreshed it)
+        t.insert_positive(ft(2), PolicyId(0), ActionList::permit(), SimTime(99));
+        assert!(t.lookup(&ft(2), SimTime(199), 1).is_none(), "age ttl expired");
+        t.insert_positive(ft(3), PolicyId(0), ActionList::permit(), SimTime(199));
+        assert!(t.lookup(&ft(3), SimTime(300), 1).is_none(), "age ttl+1 expired");
+    }
+
+    #[test]
+    fn negative_entries_use_same_boundary() {
+        let mut t = FlowTable::new(100);
+        t.insert_negative(ft(1), SimTime(0));
+        t.insert_negative(ft(2), SimTime(0));
+        t.insert_negative(ft(3), SimTime(0));
+        assert!(t.lookup(&ft(1), SimTime(99), 1).is_some(), "age ttl-1 alive");
+        assert!(t.lookup(&ft(2), SimTime(100), 1).is_none(), "age ttl expired");
+        assert!(t.lookup(&ft(3), SimTime(101), 1).is_none(), "age ttl+1 expired");
+    }
+
+    #[test]
+    fn purge_and_lookup_agree_at_boundary() {
+        // purge at the exact expiry tick must drop what lookup would reject
+        let mut t = FlowTable::new(50);
+        t.insert_positive(ft(1), PolicyId(0), ActionList::permit(), SimTime(0));
+        assert_eq!(t.purge_expired(SimTime(50)), 1);
+        assert!(t.lookup(&ft(1), SimTime(50), 1).is_none());
+        // and keep what lookup would accept
+        t.insert_positive(ft(2), PolicyId(0), ActionList::permit(), SimTime(50));
+        assert_eq!(t.purge_expired(SimTime(99)), 0);
+        assert!(t.lookup(&ft(2), SimTime(99), 1).is_some());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "clock moved backwards")]
+    fn non_monotonic_now_panics_in_debug() {
+        let mut t = FlowTable::new(100);
+        t.insert_positive(ft(1), PolicyId(0), ActionList::permit(), SimTime(0));
+        let _ = t.lookup(&ft(1), SimTime(500), 1);
+        let _ = t.lookup(&ft(1), SimTime(10), 1); // time ran backwards
     }
 
     #[test]

@@ -73,8 +73,8 @@ fn gen_packet(rng: &mut StdRng) -> FiveTuple {
     let fuzz = rng.gen_range(0u8..6);
     FiveTuple {
         // keep some high bits fixed sometimes to hit narrow prefixes
-        src: Ipv4Addr(if fuzz % 3 == 0 { src & 0x00FF_FFFF } else { src }),
-        dst: Ipv4Addr(if fuzz % 2 == 0 { dst & 0x0000_FFFF } else { dst }),
+        src: Ipv4Addr(if fuzz.is_multiple_of(3) { src & 0x00FF_FFFF } else { src }),
+        dst: Ipv4Addr(if fuzz.is_multiple_of(2) { dst & 0x0000_FFFF } else { dst }),
         src_port: rng.gen_range(0u16..250),
         dst_port: rng.gen_range(0u16..250),
         proto: gen_proto(rng),

@@ -113,7 +113,7 @@ pub fn waxman(seed: u64) -> NetworkPlan {
 pub fn waxman_with(config: &WaxmanConfig, seed: u64) -> NetworkPlan {
     assert!(config.cores > 0, "need at least one core router");
     assert!(
-        config.edges % config.cores == 0,
+        config.edges.is_multiple_of(config.cores),
         "edge routers must divide equally across cores (got {} edges, {} cores)",
         config.edges,
         config.cores
@@ -179,7 +179,7 @@ pub fn waxman_with(config: &WaxmanConfig, seed: u64) -> NetworkPlan {
             for j in (i + 1)..config.cores {
                 if comp[i] != comp[j] {
                     let d = dist(i, j);
-                    if best.map_or(true, |(bd, _, _)| d < bd) {
+                    if best.is_none_or(|(bd, _, _)| d < bd) {
                         best = Some((d, i, j));
                     }
                 }

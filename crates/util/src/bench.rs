@@ -111,11 +111,10 @@ impl Runner {
                 break;
             }
             // jump straight towards the target when far away
-            let factor = if elapsed == 0 {
-                16
-            } else {
-                ((self.min_sample_ns / elapsed) + 1).clamp(2, 16) as u64
-            };
+            let factor = self
+                .min_sample_ns
+                .checked_div(elapsed)
+                .map_or(16, |f| (f + 1).clamp(2, 16) as u64);
             batch = batch.saturating_mul(factor);
         }
 

@@ -1,0 +1,189 @@
+//! Comparison of two micro-benchmark result files (the perf-trajectory
+//! regression gate).
+//!
+//! Both files use the shape [`crate::bench::Runner::finish`] writes:
+//! `{ "<group>": { "<bench>": { "median_ns": …, … }, … }, … }`. The diff
+//! pairs benchmarks present in *both* files by `(group, name)` and reports
+//! the ratio `new_median / baseline_median` — above 1.0 is a slowdown,
+//! below is a speedup. [`gate`] turns the deltas into a pass/fail verdict
+//! against a regression threshold (e.g. 1.25 = fail on >25% slowdown).
+
+use crate::json::Json;
+
+/// One benchmark's baseline-vs-new comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDelta {
+    /// Benchmark group name.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Baseline median, ns per iteration.
+    pub baseline_ns: f64,
+    /// New median, ns per iteration.
+    pub new_ns: f64,
+}
+
+impl BenchDelta {
+    /// `new / baseline`: above 1.0 is a regression, below a speedup.
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_ns <= 0.0 {
+            1.0
+        } else {
+            self.new_ns / self.baseline_ns
+        }
+    }
+
+    /// One human-readable comparison line.
+    pub fn format_line(&self) -> String {
+        let r = self.ratio();
+        let verdict = if r > 1.0 {
+            format!("{:.2}x slower", r)
+        } else {
+            format!("{:.2}x faster", 1.0 / r.max(1e-12))
+        };
+        format!(
+            "{:<50} {:>14.0} ns -> {:>14.0} ns  ({verdict})",
+            format!("{}/{}", self.group, self.name),
+            self.baseline_ns,
+            self.new_ns,
+        )
+    }
+}
+
+/// Pairs the benchmarks of two result documents by `(group, name)`,
+/// in the baseline's order. Benchmarks present in only one file are
+/// ignored (new benches have no baseline to regress against).
+pub fn diff(baseline: &Json, new: &Json) -> Vec<BenchDelta> {
+    let mut out = Vec::new();
+    let Json::Obj(groups) = baseline else {
+        return out;
+    };
+    for (group, benches) in groups {
+        let Json::Obj(benches) = benches else {
+            continue;
+        };
+        for (name, stats) in benches {
+            let Some(base_med) = median_of(stats) else {
+                continue;
+            };
+            let Some(new_med) = new
+                .get(group)
+                .and_then(|g| g.get(name))
+                .and_then(median_of)
+            else {
+                continue;
+            };
+            out.push(BenchDelta {
+                group: group.clone(),
+                name: name.clone(),
+                baseline_ns: base_med,
+                new_ns: new_med,
+            });
+        }
+    }
+    out
+}
+
+fn median_of(stats: &Json) -> Option<f64> {
+    match stats.get("median_ns") {
+        Some(Json::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Applies the regression gate: every delta whose ratio exceeds
+/// `fail_ratio` (e.g. 1.25 for "fail on >25% slowdown") is a failure.
+/// Returns the offending deltas; an empty vector means the gate passes.
+pub fn gate(deltas: &[BenchDelta], fail_ratio: f64) -> Vec<BenchDelta> {
+    deltas
+        .iter()
+        .filter(|d| d.ratio() > fail_ratio)
+        .cloned()
+        .collect()
+}
+
+/// Geometric-mean speedup (`baseline / new`) across the deltas of one
+/// group; `None` if the group has no paired benchmarks. This is the
+/// per-group headline number (robust to one bench dominating).
+pub fn group_speedup(deltas: &[BenchDelta], group: &str) -> Option<f64> {
+    let ratios: Vec<f64> = deltas
+        .iter()
+        .filter(|d| d.group == group && d.new_ns > 0.0)
+        .map(|d| d.baseline_ns / d.new_ns)
+        .collect();
+    if ratios.is_empty() {
+        return None;
+    }
+    let log_sum: f64 = ratios.iter().map(|r| r.ln()).sum();
+    Some((log_sum / ratios.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(entries: &[(&str, &str, f64)]) -> Json {
+        let mut groups: Vec<(String, Json)> = Vec::new();
+        for &(g, n, med) in entries {
+            let stats = Json::obj([("median_ns", Json::Num(med))]);
+            match groups.iter_mut().find(|(k, _)| k == g) {
+                Some((_, Json::Obj(benches))) => benches.push((n.to_string(), stats)),
+                _ => groups.push((g.to_string(), Json::Obj(vec![(n.to_string(), stats)]))),
+            }
+        }
+        Json::Obj(groups)
+    }
+
+    #[test]
+    fn pairs_by_group_and_name() {
+        let base = doc(&[("sim", "a", 100.0), ("sim", "b", 200.0), ("lp", "x", 50.0)]);
+        let new = doc(&[("sim", "a", 50.0), ("lp", "x", 75.0), ("lp", "only_new", 1.0)]);
+        let d = diff(&base, &new);
+        assert_eq!(d.len(), 2); // sim/b and lp/only_new unpaired
+        assert_eq!(d[0].name, "a");
+        assert!((d[0].ratio() - 0.5).abs() < 1e-12);
+        assert!((d[1].ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_flags_only_regressions_beyond_threshold() {
+        let base = doc(&[("g", "fast", 100.0), ("g", "ok", 100.0), ("g", "slow", 100.0)]);
+        let new = doc(&[("g", "fast", 10.0), ("g", "ok", 120.0), ("g", "slow", 130.0)]);
+        let d = diff(&base, &new);
+        let failures = gate(&d, 1.25);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].name, "slow");
+        assert!(gate(&d, 1.5).is_empty());
+    }
+
+    #[test]
+    fn group_speedup_is_geometric_mean() {
+        let base = doc(&[("g", "a", 400.0), ("g", "b", 100.0), ("h", "c", 10.0)]);
+        let new = doc(&[("g", "a", 100.0), ("g", "b", 100.0), ("h", "c", 20.0)]);
+        let d = diff(&base, &new);
+        // speedups 4.0 and 1.0 -> geomean 2.0
+        let s = group_speedup(&d, "g").unwrap();
+        assert!((s - 2.0).abs() < 1e-9, "{s}");
+        assert!((group_speedup(&d, "h").unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(group_speedup(&d, "missing"), None);
+    }
+
+    #[test]
+    fn malformed_documents_yield_empty_diff() {
+        assert!(diff(&Json::Num(1.0), &Json::Obj(vec![])).is_empty());
+        let base = doc(&[("g", "a", 100.0)]);
+        assert!(diff(&base, &Json::Null).is_empty());
+    }
+
+    #[test]
+    fn zero_baseline_does_not_divide_by_zero() {
+        let d = BenchDelta {
+            group: "g".into(),
+            name: "n".into(),
+            baseline_ns: 0.0,
+            new_ns: 10.0,
+        };
+        assert_eq!(d.ratio(), 1.0);
+        assert!(d.format_line().contains("g/n"));
+    }
+}

@@ -148,13 +148,6 @@ impl Json {
         }
     }
 
-    /// Compact serialization.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, None, 0);
-        out
-    }
-
     /// Pretty serialization with two-space indentation.
     pub fn to_string_pretty(&self) -> String {
         let mut out = String::new();
@@ -162,6 +155,15 @@ impl Json {
         out
     }
 
+    /// Compact serialization (same as `format!("{self}")`).
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Shared serializer behind [`fmt::Display`] (compact) and
+    /// [`Json::to_string_pretty`].
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
         let (nl, pad, pad_in) = match indent {
             Some(w) => (
@@ -243,6 +245,13 @@ impl Json {
             return Err(p.err("trailing characters after value"));
         }
         Ok(v)
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact serialization; `.to_string()` callers go through here.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact_string())
     }
 }
 

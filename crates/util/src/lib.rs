@@ -13,6 +13,8 @@
 //! | [`json`] | `serde` | a tiny JSON value type, writer and recursive-descent parser |
 //! | [`par`] | `crossbeam` | scoped-thread ordered parallel map |
 //! | [`sync`] | `parking_lot` | `std::sync::Mutex` wrapper with a non-poisoning `lock()` |
+//! | [`fxhash`] | `rustc-hash` | deterministic multiply-rotate hasher for hot, trusted-key tables |
+//! | [`bench_diff`] | — | baseline-vs-new bench comparison powering the CI regression gate |
 //!
 //! Everything is deterministic per fixed seed, `#![forbid(unsafe_code)]`,
 //! and uses the standard library only.
@@ -21,11 +23,14 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod bench_diff;
+pub mod fxhash;
 pub mod json;
 pub mod par;
 pub mod prop;
 pub mod rng;
 pub mod sync;
 
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use rng::{SliceRandom, StdRng};

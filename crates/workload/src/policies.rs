@@ -208,8 +208,8 @@ pub fn evaluation_policies(
     for i in (1..src_pool.len()).rev() {
         src_pool.swap(i, rng.gen_range(0..=i));
     }
-    for i in 0..counts.one_to_many {
-        let src = StubId(src_pool[i]);
+    for &pool_src in src_pool.iter().take(counts.one_to_many) {
+        let src = StubId(pool_src);
         set.push(Policy::new(
             TrafficDescriptor::new()
                 .src_prefix(addrs.subnet(src))

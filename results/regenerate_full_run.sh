@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Regenerates results/full_run.txt: every experiment binary in release
+# mode, concatenated with section headers. Deterministic modulo the dated
+# first line and the wall-clock timing columns of the lp_formulations and
+# flow_cache sections.
+set -eu
+out="${1:-results/full_run.txt}"
+: > "$out"
+echo "# Full experiment run — $(date -u)" >> "$out"
+echo "# All generators use the in-tree sdm-util PRNG (seeded, reproducible);" >> "$out"
+echo "# numbers shift vs pre-migration runs but every paper shape is preserved." >> "$out"
+run() {
+  name="$1"; shift
+  echo "" >> "$out"
+  echo "=== $name ===" >> "$out"
+  cargo run --release --offline -q -p sdm-bench --bin "$@" >> "$out"
+}
+run fig4_campus fig4_campus
+run fig5_waxman fig5_waxman
+run table3_distribution table3_distribution
+run k_sweep k_sweep
+run lp_formulations lp_formulations
+run flow_cache flow_cache
+run failure_recovery failure_recovery
+run adaptivity adaptivity
+run path_stretch path_stretch
+run queueing queueing
+run "label_switching (count mode)" label_switching
+run "label_switching (--emulate: real fragmentation/reassembly)" label_switching -- --emulate

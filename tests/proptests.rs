@@ -24,7 +24,11 @@ struct SmallWorld {
     flows: Vec<(u32, u32, u16, u8, u64)>,
 }
 
-fn arb_world(rng: &mut StdRng) -> (u64, [usize; 4], usize, Vec<(u32, u32, u16, u8, u64)>) {
+/// Raw generated case: (seed, mbox counts, k, flows) — kept as a plain
+/// tuple so the harness's component-wise shrinking applies.
+type RawWorld = (u64, [usize; 4], usize, Vec<(u32, u32, u16, u8, u64)>);
+
+fn arb_world(rng: &mut StdRng) -> RawWorld {
     let n_flows = rng.gen_range(1usize..40);
     let flows = (0..n_flows)
         .map(|_| {
@@ -51,7 +55,7 @@ fn arb_world(rng: &mut StdRng) -> (u64, [usize; 4], usize, Vec<(u32, u32, u16, u
 }
 
 /// Re-validates a (possibly shrunk) raw case into the generator's domain.
-fn world_of(raw: &(u64, [usize; 4], usize, Vec<(u32, u32, u16, u8, u64)>)) -> SmallWorld {
+fn world_of(raw: &RawWorld) -> SmallWorld {
     let &(seed, counts, k, ref flows) = raw;
     SmallWorld {
         seed,
