@@ -4,22 +4,47 @@
 # below runs with --offline and must succeed with zero network access.
 set -eu
 
-echo "==> cargo build --release --offline"
+# Per-phase wall-clock: phase <name> ends the previous phase (if any),
+# prints its duration, and starts the next.
+PHASE_NAME=""
+PHASE_START=0
+phase() {
+    phase_end
+    PHASE_NAME="$1"
+    PHASE_START=$(date +%s)
+    echo "==> $1"
+}
+phase_end() {
+    if [ -n "$PHASE_NAME" ]; then
+        echo "    [$PHASE_NAME took $(($(date +%s) - PHASE_START))s]"
+    fi
+}
+
+phase "cargo build --release --offline"
 cargo build --release --offline
 
-echo "==> cargo clippy --offline -- -D warnings"
+phase "cargo clippy --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> cargo test -q --offline --workspace"
+phase "cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
-echo "==> table3 smoke run (reduced volume)"
+phase "table3 smoke run (reduced volume)"
 cargo run --release --offline -p sdm-bench --bin table3_distribution -- --packets 1000000
 
-echo "==> micro-benchmarks -> results/BENCH_pr2.json"
-SDM_BENCH_OUT=results/BENCH_pr2.json cargo bench --workspace --offline
+phase "sharded determinism smoke: SDM_SHARDS=1 vs SDM_SHARDS=4 byte-identical"
+SDM_SHARDS=1 cargo run --release --offline -p sdm-bench --bin table3_distribution -- \
+    --packets 1000000 > /tmp/sdm_table3_shards1.txt
+SDM_SHARDS=4 cargo run --release --offline -p sdm-bench --bin table3_distribution -- \
+    --packets 1000000 > /tmp/sdm_table3_shards4.txt
+cmp /tmp/sdm_table3_shards1.txt /tmp/sdm_table3_shards4.txt
+echo "    table3 output is byte-identical at 1 and 4 shards"
 
-echo "==> bench regression gate (>25% median slowdown fails)"
+phase "micro-benchmarks -> results/BENCH_pr4.json"
+SDM_BENCH_OUT=results/BENCH_pr4.json cargo bench --workspace --offline
+
+phase "bench regression gate (>25% median slowdown fails)"
 cargo run --release --offline -p sdm-bench --bin bench_gate
 
+phase_end
 echo "==> CI OK"

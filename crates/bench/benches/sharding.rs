@@ -1,0 +1,53 @@
+//! Benchmark: the flow-sharded parallel data plane on the Figure-4
+//! campus workload at full scale (10M packets), 1 shard vs 4 shards.
+//!
+//! The two benches run the *same* hot-potato enforcement over the same
+//! flow list — the sharded runtime guarantees bit-identical output — so
+//! their median ratio is a pure parallel-speedup measurement. `bench_gate`
+//! enforces a ≥2x speedup at 4 shards when the host has ≥4 cores and
+//! reports the ratio informationally otherwise (a 1-core CI box cannot
+//! speed up by threading).
+
+use std::hint::black_box;
+
+use sdm_bench::{ExperimentConfig, World};
+use sdm_core::Strategy;
+use sdm_util::bench::Runner;
+
+fn main() {
+    // A full 10M-packet run takes seconds; keep the default sample count
+    // small unless the caller asked for something specific.
+    if std::env::var_os("SDM_BENCH_SAMPLES").is_none() {
+        std::env::set_var("SDM_BENCH_SAMPLES", "5");
+    }
+
+    let world = World::build(&ExperimentConfig::campus(3));
+    let flows = world.flows(10_000_000, 3u64.wrapping_add(10));
+    eprintln!(
+        "sharding workload: {} flows, {} packets, {} hardware threads",
+        flows.len(),
+        flows.iter().map(|f| f.packets).sum::<u64>(),
+        sdm_util::par::hardware_threads(),
+    );
+
+    let sanity1 = world.run_strategy_sharded(Strategy::HotPotato, None, &flows, 1);
+    let sanity4 = world.run_strategy_sharded(Strategy::HotPotato, None, &flows, 4);
+    assert_eq!(sanity1.loads, sanity4.loads, "sharding must not change results");
+
+    let mut group = Runner::new("sharding");
+    group.bench("hp_10m_shards1", || {
+        black_box(
+            world
+                .run_strategy_sharded(Strategy::HotPotato, None, &flows, 1)
+                .delivered,
+        )
+    });
+    group.bench("hp_10m_shards4", || {
+        black_box(
+            world
+                .run_strategy_sharded(Strategy::HotPotato, None, &flows, 4)
+                .delivered,
+        )
+    });
+    group.finish();
+}

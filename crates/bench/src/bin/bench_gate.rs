@@ -5,23 +5,33 @@
 //! The fresh file is produced by the bench harness itself, e.g.
 //!
 //! ```sh
-//! SDM_BENCH_OUT=results/BENCH_pr2.json cargo bench --workspace --offline
+//! SDM_BENCH_OUT=results/BENCH_pr4.json cargo bench --workspace --offline
 //! cargo run --release --offline -p sdm-bench --bin bench_gate
 //! ```
 //!
 //! which is exactly what `ci.sh` does.
 //!
+//! Besides pairwise regressions the gate checks the flow-sharding speedup
+//! (`sharding/hp_10m_shards1` vs `.../hp_10m_shards4`): on a host with at
+//! least 4 hardware threads the 4-shard run must be ≥2x faster; on
+//! smaller hosts the ratio is only reported (threads cannot beat physics
+//! on a 1-core box).
+//!
 //! Usage:
 //!   cargo run --release -p sdm-bench --bin bench_gate
-//!     [--baseline PATH]     default results/BENCH_baseline.json
-//!     [--current PATH]      default results/BENCH_pr2.json
-//!     [--max-regress PCT]   default 25 (fail on >25% median slowdown)
+//!     [--baseline PATH]          default results/BENCH_baseline.json
+//!     [--current PATH]           default results/BENCH_pr4.json
+//!     [--max-regress PCT]        default 25 (fail on >25% median slowdown)
+//!     [--min-shard-speedup X]    default 2.0 (enforced only with >=4 cores)
+//!     [--write-baseline]         on success, copy the current file over
+//!                                the baseline (adopt the new numbers)
 
 use std::process::ExitCode;
 
 use sdm_bench::arg_value;
-use sdm_util::bench_diff::{diff, gate, group_speedup};
+use sdm_util::bench_diff::{diff, gate, group_speedup, median_for, unpaired_new};
 use sdm_util::json::Json;
+use sdm_util::par::hardware_threads;
 
 fn load(path: &str) -> Result<Json, String> {
     let text =
@@ -29,15 +39,51 @@ fn load(path: &str) -> Result<Json, String> {
     Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
 }
 
+/// Checks the sharding speedup; returns `false` when the check is
+/// enforced and fails.
+fn shard_speedup_check(current: &Json, min_speedup: f64) -> bool {
+    let (Some(s1), Some(s4)) = (
+        median_for(current, "sharding", "hp_10m_shards1"),
+        median_for(current, "sharding", "hp_10m_shards4"),
+    ) else {
+        println!("# sharding speedup: benches not present in current run, skipped");
+        return true;
+    };
+    let speedup = s1 / s4;
+    let cores = hardware_threads();
+    if cores >= 4 {
+        println!(
+            "# sharding speedup: {speedup:.2}x at 4 shards ({cores} cores, required >= {min_speedup:.2}x)"
+        );
+        if speedup < min_speedup {
+            println!(
+                "bench gate FAILED — 4-shard run is only {speedup:.2}x faster than 1 shard \
+(required {min_speedup:.2}x on a {cores}-core host)"
+            );
+            return false;
+        }
+    } else {
+        println!(
+            "# sharding speedup: {speedup:.2}x at 4 shards — informational only \
+(host has {cores} core(s); the >= {min_speedup:.2}x gate needs >= 4)"
+        );
+    }
+    true
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let baseline_path = arg_value(&args, "--baseline")
         .unwrap_or_else(|| "results/BENCH_baseline.json".to_string());
     let current_path = arg_value(&args, "--current")
-        .unwrap_or_else(|| "results/BENCH_pr2.json".to_string());
+        .unwrap_or_else(|| "results/BENCH_pr4.json".to_string());
     let max_regress_pct: f64 = arg_value(&args, "--max-regress")
         .and_then(|s| s.parse().ok())
         .unwrap_or(25.0);
+    let min_shard_speedup: f64 = arg_value(&args, "--min-shard-speedup")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+    let write_baseline = args.iter().any(|a| a == "--write-baseline");
     let fail_ratio = 1.0 + max_regress_pct / 100.0;
 
     let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
@@ -63,6 +109,9 @@ fn main() -> ExitCode {
     for d in &deltas {
         println!("{}", d.format_line());
     }
+    for (group, name) in unpaired_new(&baseline, &current) {
+        println!("{group}/{name:<32} new (no baseline)");
+    }
 
     let mut groups: Vec<&str> = deltas.iter().map(|d| d.group.as_str()).collect();
     groups.dedup();
@@ -73,14 +122,27 @@ fn main() -> ExitCode {
         }
     }
 
+    let shards_ok = shard_speedup_check(&current, min_shard_speedup);
+
     let failures = gate(&deltas, fail_ratio);
-    if failures.is_empty() {
+    if failures.is_empty() && shards_ok {
         println!("\nbench gate PASSED ({} benchmarks compared)", deltas.len());
+        if write_baseline {
+            match std::fs::copy(&current_path, &baseline_path) {
+                Ok(_) => println!("baseline updated: {current_path} -> {baseline_path}"),
+                Err(e) => {
+                    eprintln!("bench_gate: cannot write baseline {baseline_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         ExitCode::SUCCESS
     } else {
-        println!("\nbench gate FAILED — {} regression(s):", failures.len());
-        for d in &failures {
-            println!("  {}", d.format_line());
+        if !failures.is_empty() {
+            println!("\nbench gate FAILED — {} regression(s):", failures.len());
+            for d in &failures {
+                println!("  {}", d.format_line());
+            }
         }
         ExitCode::FAILURE
     }

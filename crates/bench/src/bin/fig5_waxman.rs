@@ -6,9 +6,12 @@
 //!   cargo run --release -p sdm-bench --bin fig5_waxman
 //!     [--volumes 1,2,...,10]   total packets, in millions (default 1..10)
 //!     [--seed N]               world seed (default 3)
+//!
+//! Environment: `SDM_SHARDS` sets the flow-shard count of each run
+//! (default: autodetected core count); output is identical for any value.
 
 use sdm_bench::{arg_value, figure_header, figure_row, ExperimentConfig, World};
-use sdm_util::par::par_map;
+use sdm_util::par::{par_map, shard_count};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -22,16 +25,18 @@ fn main() {
                 .collect()
         })
         .unwrap_or_else(|| (1..=10).collect());
+    let shards = shard_count();
 
     println!("# Figure 5 — Waxman topology: max middlebox load vs traffic volume");
     println!("# columns per type: hot-potato (HP), random (Rd), load-balanced (LB)");
     let world = World::build(&ExperimentConfig::waxman(seed));
     println!("{}", figure_header());
-    // each volume is an independent experiment: sweep them on scoped threads
+    // each volume is an independent experiment: sweep them on scoped
+    // threads, and shard the flows of each run on top (SDM_SHARDS)
     let rows = par_map(&volumes, |_, &m| {
         let total = m * 1_000_000;
         let flows = world.flows(total, seed.wrapping_add(m));
-        let c = world.compare_strategies(&flows);
+        let c = world.compare_strategies_sharded(&flows, shards);
         figure_row(total, &c)
     });
     for row in rows {

@@ -10,14 +10,28 @@
 //!     [--window N]   arrival window in ticks (default 2000000)
 //!     [--service N]  middlebox service ticks per packet (default 150)
 //!     [--seed N]     world seed (default 3)
+//!
+//! This experiment is **not shard-safe**: finite service rates make flows
+//! contend for the same middlebox queues, so splitting them across
+//! independent shard engines would change every waiting time. It therefore
+//! ignores `SDM_SHARDS` and always runs single-shard
+//! ([`sdm_core::resolve_shards`] with `shard_safe = false`).
 
 use sdm_bench::{arg_value, ExperimentConfig, World};
-use sdm_core::{EnforcementOptions, LbOptions, Strategy};
+use sdm_core::{resolve_shards, EnforcementOptions, LbOptions, Strategy};
 use sdm_netsim::SimTime;
+use sdm_util::par::shard_count;
 use sdm_workload::WorkloadConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    // Shared middlebox queues couple the flows: force the single-shard
+    // fallback no matter what SDM_SHARDS asks for.
+    let shards = resolve_shards(shard_count(), false);
+    assert_eq!(shards, 1);
+    if shard_count() > 1 {
+        eprintln!("[queueing] shared-queue experiment: ignoring SDM_SHARDS, running 1 shard");
+    }
     let seed: u64 = arg_value(&args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);

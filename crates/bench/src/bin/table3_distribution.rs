@@ -5,8 +5,16 @@
 //!   cargo run --release -p sdm-bench --bin table3_distribution
 //!     [--packets N]   total packets (default 10000000, the figure's top end)
 //!     [--seed N]      world seed (default 3)
+//!
+//! Environment: `SDM_SHARDS` sets the flow-shard count (default:
+//! autodetected core count). The table on stdout is byte-identical for any
+//! shard count — CI diffs SDM_SHARDS=1 against SDM_SHARDS=4 to prove it.
+//! Per-phase wall-clock goes to stderr so it never perturbs that diff.
+
+use std::time::Instant;
 
 use sdm_bench::{arg_value, ExperimentConfig, World, PLOT_ORDER};
+use sdm_util::par::shard_count;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -16,12 +24,27 @@ fn main() {
     let total: u64 = arg_value(&args, "--packets")
         .and_then(|s| s.parse().ok())
         .unwrap_or(10_000_000);
+    let shards = shard_count();
 
     println!("# Table III — load distribution (max/min packets per middlebox type),");
     println!("# campus topology at {total} total packets");
+    let t0 = Instant::now();
     let world = World::build(&ExperimentConfig::campus(seed));
+    eprintln!("[table3] build world: {:.3}s", t0.elapsed().as_secs_f64());
+    let t1 = Instant::now();
     let flows = world.flows(total, seed.wrapping_add(42));
-    let c = world.compare_strategies(&flows);
+    eprintln!(
+        "[table3] generate {} flows: {:.3}s",
+        flows.len(),
+        t1.elapsed().as_secs_f64()
+    );
+    let t2 = Instant::now();
+    let c = world.compare_strategies_sharded(&flows, shards);
+    eprintln!(
+        "[table3] run 3 strategies ({shards} shard{}): {:.3}s",
+        if shards == 1 { "" } else { "s" },
+        t2.elapsed().as_secs_f64()
+    );
 
     println!(
         "{:<12} {:>14} {:>14} {:>14}",

@@ -25,8 +25,8 @@ use sdm_netsim::AddressPlan;
 use sdm_policy::NetworkFunction;
 use sdm_topology::NetworkPlan;
 use sdm_workload::{
-    evaluation_policies, generate_flows_with_total, Flow, GeneratedPolicies, PolicyClassCounts,
-    WorkloadConfig,
+    evaluation_policies, generate_flows_with_total, to_flow_specs, Flow, GeneratedPolicies,
+    PolicyClassCounts, WorkloadConfig,
 };
 
 /// Which evaluation topology to build (§IV.A).
@@ -150,6 +150,34 @@ impl World {
         }
     }
 
+    /// [`World::run_strategy`] over the flow-sharded parallel runtime:
+    /// identical results (the merge is deterministic — see
+    /// [`sdm_core::Controller::run_sharded`]), wall-clock divided across
+    /// `shards` worker threads on multicore hosts.
+    pub fn run_strategy_sharded(
+        &self,
+        strategy: Strategy,
+        weights: Option<sdm_core::SteeringWeights>,
+        flows: &[Flow],
+        shards: usize,
+    ) -> StrategyRun {
+        let specs = to_flow_specs(flows, 512);
+        let run = self.controller.run_sharded(
+            strategy,
+            weights.as_ref(),
+            EnforcementOptions::default(),
+            &specs,
+            shards,
+        );
+        StrategyRun {
+            loads: run.loads.clone(),
+            report: run.load_report(&self.deployment),
+            measurements: run.measurements,
+            delivered: run.stats.delivered + run.stats.delivered_external,
+            link_hops: run.stats.link_hops,
+        }
+    }
+
     /// The full three-strategy comparison of §IV.B at one traffic volume:
     /// HP (which doubles as the measurement pass), Rand, and LB driven by
     /// the Eq. (2) LP on HP's measurements.
@@ -166,6 +194,32 @@ impl World {
             .solve_load_balanced(&hp.measurements, LbOptions::default())
             .expect("load-balancing LP must solve");
         let lb = self.run_strategy(Strategy::LoadBalanced, Some(weights), flows);
+        Comparison {
+            hp,
+            rand,
+            lb,
+            lb_report,
+        }
+    }
+
+    /// [`World::compare_strategies`] over the flow-sharded runtime. With
+    /// any `shards` value this produces bit-identical numbers to the
+    /// legacy path (the sharded-equivalence property test pins this); on a
+    /// multicore host it is the faster way to regenerate Figures 4–5 and
+    /// Table III.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`World::compare_strategies`].
+    pub fn compare_strategies_sharded(&self, flows: &[Flow], shards: usize) -> Comparison {
+        let hp = self.run_strategy_sharded(Strategy::HotPotato, None, flows, shards);
+        let rand =
+            self.run_strategy_sharded(Strategy::Random { salt: 0xDA7A }, None, flows, shards);
+        let (weights, lb_report) = self
+            .controller
+            .solve_load_balanced(&hp.measurements, LbOptions::default())
+            .expect("load-balancing LP must solve");
+        let lb = self.run_strategy_sharded(Strategy::LoadBalanced, Some(weights), flows, shards);
         Comparison {
             hp,
             rand,

@@ -7,10 +7,10 @@
 //! Unlike an SDN controller it is *not* on the data path: everything it
 //! produces is pushed to the proxies and middleboxes ahead of traffic.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use sdm_util::sync::Mutex;
+use sdm_util::FxHashMap;
 
 use sdm_netsim::{
     preassigned_device_addr, AddressPlan, Attachment, FiveTuple, Packet, SimTime, Simulator,
@@ -344,7 +344,7 @@ plane cannot disambiguate repeated functions — split the policy"
         let mbox_addrs: Vec<_> = (0..self.deployment.len())
             .map(preassigned_device_addr)
             .collect();
-        let addr_to_mbox: HashMap<_, _> = mbox_addrs
+        let addr_to_mbox: FxHashMap<_, _> = mbox_addrs
             .iter()
             .enumerate()
             .map(|(i, &a)| (a, MiddleboxId(i as u32)))

@@ -62,6 +62,7 @@ mod middlebox;
 mod proxy;
 mod report;
 mod runtime;
+mod shard;
 mod steer;
 
 pub use controller::{ConfigFootprint, Controller, Enforcement, EnforcementOptions};
@@ -75,6 +76,7 @@ pub use report::{LoadReport, LoadRow};
 pub use runtime::{
     MboxCounters, MboxState, ProxyCounters, ProxyState, RuntimeConfig, Shared,
 };
+pub use shard::{resolve_shards, shard_of, FlowSpec, ShardedRun, StateFootprint};
 pub use steer::{
     select_next, Assignments, CommodityKey, KConfig, SteerPoint, SteeringEncoding,
     SteeringWeights, Strategy, WeightKey,

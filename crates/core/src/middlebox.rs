@@ -268,7 +268,6 @@ mod tests {
     use sdm_netsim::AddressPlan;
     use sdm_policy::NetworkFunction::*;
     use sdm_topology::campus::campus;
-    use std::collections::HashMap;
 
     fn device(functions: &[NetworkFunction]) -> MiddleboxDevice {
         let plan = campus(1);
@@ -281,7 +280,7 @@ mod tests {
             assignments,
             weights: None,
             mbox_addrs: vec![sdm_netsim::preassigned_device_addr(0)],
-            addr_to_mbox: HashMap::new(),
+            addr_to_mbox: Default::default(),
             addr_plan: AddressPlan::new(&plan),
             encoding: Default::default(),
             mbox_functions: dep.iter().map(|(_, s)| s.functions.clone()).collect(),

@@ -212,7 +212,6 @@ mod tests {
     use sdm_netsim::AddressPlan;
     use sdm_policy::NetworkFunction::*;
     use sdm_topology::campus::campus;
-    use std::collections::HashMap;
 
     #[test]
     fn dest_key_resolves_stub_and_external() {
@@ -227,7 +226,7 @@ mod tests {
             assignments,
             weights: None,
             mbox_addrs: vec![sdm_netsim::preassigned_device_addr(0)],
-            addr_to_mbox: HashMap::new(),
+            addr_to_mbox: Default::default(),
             addr_plan: addr_plan.clone(),
             encoding: Default::default(),
             mbox_functions: dep.iter().map(|(_, s)| s.functions.clone()).collect(),

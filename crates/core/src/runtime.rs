@@ -2,10 +2,10 @@
 //! controller-installed configuration, and the per-device mutable state the
 //! experiment harness inspects after a run.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use sdm_util::sync::Mutex;
+use sdm_util::FxHashMap;
 
 use sdm_netsim::{AddressPlan, Ipv4Addr};
 use sdm_policy::{FlowTable, LabelAllocator, LabelTable};
@@ -31,8 +31,9 @@ pub struct RuntimeConfig {
     pub weights: Option<SteeringWeights>,
     /// Tunnel endpoint address of each middlebox, by id.
     pub mbox_addrs: Vec<Ipv4Addr>,
-    /// Reverse map of `mbox_addrs`.
-    pub addr_to_mbox: HashMap<Ipv4Addr, MiddleboxId>,
+    /// Reverse map of `mbox_addrs`. Fx-hashed: this table sits on the
+    /// per-packet decapsulation path.
+    pub addr_to_mbox: FxHashMap<Ipv4Addr, MiddleboxId>,
     /// The network addressing plan (to resolve destination stubs).
     pub addr_plan: AddressPlan,
     /// How steering is encoded on the wire (§III.B/E, §V).
@@ -164,6 +165,20 @@ pub struct ProxyCounters {
     pub unenforceable: u64,
 }
 
+impl ProxyCounters {
+    /// Adds another proxy's counters into this one (used when merging the
+    /// per-shard devices of a flow-sharded run).
+    pub fn merge(&mut self, other: &ProxyCounters) {
+        self.outbound += other.outbound;
+        self.inbound += other.inbound;
+        self.permitted += other.permitted;
+        self.steered += other.steered;
+        self.label_switched += other.label_switched;
+        self.control_received += other.control_received;
+        self.unenforceable += other.unenforceable;
+    }
+}
+
 /// Mutable state of one policy proxy, shared between the device inside the
 /// simulator and the harness outside it.
 #[derive(Debug)]
@@ -207,6 +222,21 @@ pub struct MboxCounters {
     pub unenforceable: u64,
     /// Packets dropped because this box has crashed.
     pub dropped_failed: u64,
+}
+
+impl MboxCounters {
+    /// Adds another middlebox's counters into this one (used when merging
+    /// the per-shard devices of a flow-sharded run).
+    pub fn merge(&mut self, other: &MboxCounters) {
+        self.applications += other.applications;
+        self.tunneled_in += other.tunneled_in;
+        self.label_switched_in += other.label_switched_in;
+        self.label_misses += other.label_misses;
+        self.source_routed_in += other.source_routed_in;
+        self.unmatched += other.unmatched;
+        self.unenforceable += other.unenforceable;
+        self.dropped_failed += other.dropped_failed;
+    }
 }
 
 /// Mutable state of one middlebox.

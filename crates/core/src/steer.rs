@@ -1,8 +1,9 @@
 //! Steering: candidate middlebox sets (`m_x^e`, `M_x^e`), the three
 //! enforcement strategies, and flow-sticky next-hop selection (§III.B–C).
 
-use std::collections::HashMap;
 use std::fmt;
+
+use sdm_util::FxHashMap;
 
 use sdm_netsim::{FiveTuple, StubId};
 use sdm_policy::{NetworkFunction, PolicyId};
@@ -36,7 +37,7 @@ impl fmt::Display for SteerPoint {
 /// Per-function candidate-set sizes `k` (§III.C / §IV.A).
 #[derive(Debug, Clone, PartialEq)]
 pub struct KConfig {
-    per_function: HashMap<NetworkFunction, usize>,
+    per_function: FxHashMap<NetworkFunction, usize>,
     default_k: usize,
 }
 
@@ -50,7 +51,7 @@ impl KConfig {
     pub fn uniform(k: usize) -> Self {
         assert!(k >= 1, "k must be at least 1");
         KConfig {
-            per_function: HashMap::new(),
+            per_function: FxHashMap::default(),
             default_k: k,
         }
     }
@@ -93,9 +94,9 @@ impl Default for KConfig {
 /// closest-first so index 0 is the hot-potato target `m_x^e` (§III.B–C).
 #[derive(Debug, Clone, Default)]
 pub struct Assignments {
-    proxy: Vec<HashMap<NetworkFunction, Vec<MiddleboxId>>>,
-    mbox: Vec<HashMap<NetworkFunction, Vec<MiddleboxId>>>,
-    gateway: Vec<HashMap<NetworkFunction, Vec<MiddleboxId>>>,
+    proxy: Vec<FxHashMap<NetworkFunction, Vec<MiddleboxId>>>,
+    mbox: Vec<FxHashMap<NetworkFunction, Vec<MiddleboxId>>>,
+    gateway: Vec<FxHashMap<NetworkFunction, Vec<MiddleboxId>>>,
 }
 
 impl Assignments {
@@ -125,7 +126,7 @@ impl Assignments {
         let functions = deployment.functions();
         let mut proxy = Vec::with_capacity(edge_routers.len());
         for &edge in edge_routers {
-            let mut per_fn = HashMap::new();
+            let mut per_fn = FxHashMap::default();
             for &e in &functions {
                 let offer = deployment.offering(e);
                 per_fn.insert(e, k_closest_boxes(&offer, deployment, routes, edge, k.k_for(e)));
@@ -134,7 +135,7 @@ impl Assignments {
         }
         let mut gateway = Vec::with_capacity(gateways.len());
         for &gw in gateways {
-            let mut per_fn = HashMap::new();
+            let mut per_fn = FxHashMap::default();
             for &e in &functions {
                 let offer = deployment.offering(e);
                 per_fn.insert(e, k_closest_boxes(&offer, deployment, routes, gw, k.k_for(e)));
@@ -143,7 +144,7 @@ impl Assignments {
         }
         let mut mbox = Vec::with_capacity(deployment.len());
         for (id, spec) in deployment.iter() {
-            let mut per_fn = HashMap::new();
+            let mut per_fn = FxHashMap::default();
             for &e in &functions {
                 if spec.implements(e) {
                     continue;
@@ -240,8 +241,8 @@ pub struct CommodityKey {
 /// lookups fall back from fine to aggregate.
 #[derive(Debug, Clone, Default)]
 pub struct SteeringWeights {
-    weights: HashMap<WeightKey, Vec<(MiddleboxId, f64)>>,
-    fine: HashMap<CommodityKey, Vec<(MiddleboxId, f64)>>,
+    weights: FxHashMap<WeightKey, Vec<(MiddleboxId, f64)>>,
+    fine: FxHashMap<CommodityKey, Vec<(MiddleboxId, f64)>>,
     lambda: f64,
 }
 
@@ -249,8 +250,8 @@ impl SteeringWeights {
     /// Creates an empty weight table reporting load factor `lambda`.
     pub fn new(lambda: f64) -> Self {
         SteeringWeights {
-            weights: HashMap::new(),
-            fine: HashMap::new(),
+            weights: FxHashMap::default(),
+            fine: FxHashMap::default(),
             lambda,
         }
     }

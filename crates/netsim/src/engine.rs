@@ -266,6 +266,45 @@ impl SimStats {
             self.latency_total as f64 / n as f64
         }
     }
+
+    /// Folds another run's counters into this one: sums every additive
+    /// counter (element-wise for the per-stub / per-device / per-link
+    /// vectors) and takes the maximum of the worst-case trackers. This is
+    /// the deterministic merge the flow-sharded data plane uses — since
+    /// every counter is a `u64` sum or max, the result is independent of
+    /// merge order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-entity vectors disagree in length (the two runs
+    /// were built from different network plans or device sets).
+    pub fn merge(&mut self, other: &SimStats) {
+        fn add_vec(dst: &mut [u64], src: &[u64], what: &str) {
+            assert_eq!(dst.len(), src.len(), "SimStats::merge: {what} length mismatch");
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        self.delivered += other.delivered;
+        self.delivered_external += other.delivered_external;
+        add_vec(&mut self.delivered_per_stub, &other.delivered_per_stub, "delivered_per_stub");
+        add_vec(&mut self.device_received, &other.device_received, "device_received");
+        self.link_hops += other.link_hops;
+        add_vec(&mut self.link_load, &other.link_load, "link_load");
+        self.device_link_hops += other.device_link_hops;
+        self.encapsulated_hops += other.encapsulated_hops;
+        self.extra_header_bytes += other.extra_header_bytes;
+        self.frag_events += other.frag_events;
+        self.dropped_ttl += other.dropped_ttl;
+        self.unroutable += other.unroutable;
+        self.control_received += other.control_received;
+        self.fragments_created += other.fragments_created;
+        self.reassembly_events += other.reassembly_events;
+        self.device_wait_total += other.device_wait_total;
+        self.device_wait_max = self.device_wait_max.max(other.device_wait_max);
+        self.latency_total += other.latency_total;
+        self.latency_max = self.latency_max.max(other.latency_max);
+    }
 }
 
 impl fmt::Display for SimStats {
@@ -1151,6 +1190,55 @@ mod tests {
     use super::*;
     use crate::packet::{FiveTuple, Protocol};
     use sdm_topology::campus::campus;
+
+    #[test]
+    fn sim_stats_merge_sums_counters_and_maxes_maxima() {
+        let mut a = SimStats {
+            delivered: 10,
+            delivered_per_stub: vec![4, 6],
+            device_received: vec![1, 2, 3],
+            link_hops: 100,
+            link_load: vec![50, 50],
+            device_wait_max: 7,
+            latency_max: 40,
+            latency_total: 400,
+            ..Default::default()
+        };
+        let b = SimStats {
+            delivered: 5,
+            delivered_per_stub: vec![5, 0],
+            device_received: vec![0, 1, 0],
+            link_hops: 30,
+            link_load: vec![10, 20],
+            device_wait_max: 3,
+            latency_max: 90,
+            latency_total: 100,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.delivered, 15);
+        assert_eq!(a.delivered_per_stub, vec![9, 6]);
+        assert_eq!(a.device_received, vec![1, 3, 3]);
+        assert_eq!(a.link_hops, 130);
+        assert_eq!(a.link_load, vec![60, 70]);
+        assert_eq!(a.device_wait_max, 7, "max, not sum");
+        assert_eq!(a.latency_max, 90);
+        assert_eq!(a.latency_total, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sim_stats_merge_rejects_mismatched_plans() {
+        let mut a = SimStats {
+            device_received: vec![0, 0],
+            ..Default::default()
+        };
+        let b = SimStats {
+            device_received: vec![0],
+            ..Default::default()
+        };
+        a.merge(&b);
+    }
 
     fn flow(sim: &Simulator, from: StubId, to: StubId) -> FiveTuple {
         FiveTuple {

@@ -3,10 +3,10 @@
 //! soft-state expiry and negative caching, extended with the label fields
 //! of §III.E.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use sdm_netsim::{FiveTuple, Label, SimTime};
+use sdm_util::FxHashMap;
 
 use crate::action::ActionList;
 use crate::policy::PolicyId;
@@ -43,6 +43,16 @@ pub struct FlowTableStats {
     pub expired: u64,
 }
 
+impl FlowTableStats {
+    /// Adds another table's counters into this one (used when merging the
+    /// per-shard tables of a flow-sharded run).
+    pub fn merge(&mut self, other: &FlowTableStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.expired += other.expired;
+    }
+}
+
 /// Soft-state flow cache: `⟨f, a⟩` pairs keyed by 5-tuple, timed out after
 /// `ttl` ticks without a matching packet (§III.D).
 ///
@@ -71,7 +81,7 @@ pub struct FlowTableStats {
 /// ```
 #[derive(Debug)]
 pub struct FlowTable {
-    entries: HashMap<FiveTuple, FlowEntry>,
+    entries: FxHashMap<FiveTuple, FlowEntry>,
     ttl: u64,
     stats: FlowTableStats,
     /// Latest `now` observed, for the monotonicity debug-assert: lookups
@@ -79,6 +89,9 @@ pub struct FlowTable {
     /// that runs backwards would silently read refreshed-in-the-future
     /// entries as fresh forever instead of failing loudly.
     watermark: SimTime,
+    /// Pending keys of the current incremental [`FlowTable::sweep`] cycle;
+    /// refilled from the live key set when it runs dry.
+    sweep_queue: Vec<FiveTuple>,
 }
 
 impl FlowTable {
@@ -91,10 +104,11 @@ impl FlowTable {
     pub fn new(ttl: u64) -> Self {
         assert!(ttl > 0, "flow-table ttl must be positive");
         FlowTable {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             ttl,
             stats: FlowTableStats::default(),
             watermark: SimTime(0),
+            sweep_queue: Vec::new(),
         }
     }
 
@@ -205,6 +219,47 @@ impl FlowTable {
         self.entries
             .retain(|_, e| now.0.saturating_sub(e.last_seen.0) < ttl);
         let dropped = before - self.entries.len();
+        self.stats.expired += dropped as u64;
+        dropped
+    }
+
+    /// Amortized expiry sweep: examines at most `budget` entries per call,
+    /// resuming where the previous call stopped, and drops those whose age
+    /// reached the ttl (the same boundary as [`FlowTable::lookup`] and
+    /// [`FlowTable::purge_expired`]). Returns how many were dropped.
+    ///
+    /// Unlike `purge_expired` — which walks the *whole* map every call —
+    /// each sweep step costs O(budget), so a device on the per-packet path
+    /// can keep its table tidy without latency spikes: combined with the
+    /// purge-on-lookup that [`FlowTable::lookup`] already performs, a full
+    /// pass over the table completes every `ceil(len / budget)` calls.
+    /// Entries inserted mid-cycle are picked up by the next cycle; stale
+    /// entries are never resurrected (lookup rejects them regardless).
+    pub fn sweep(&mut self, now: SimTime, budget: usize) -> usize {
+        debug_assert!(
+            now >= self.watermark,
+            "flow-table clock moved backwards: {now:?} < {:?}",
+            self.watermark
+        );
+        self.watermark = now;
+        if self.sweep_queue.is_empty() {
+            self.sweep_queue.extend(self.entries.keys().copied());
+        }
+        let ttl = self.ttl;
+        let mut dropped = 0usize;
+        for _ in 0..budget {
+            let Some(key) = self.sweep_queue.pop() else {
+                break;
+            };
+            // The key may have been removed (or refreshed) since the cycle
+            // started; only a still-present, now-stale entry is dropped.
+            if let Some(e) = self.entries.get(&key) {
+                if now.0.saturating_sub(e.last_seen.0) >= ttl {
+                    self.entries.remove(&key);
+                    dropped += 1;
+                }
+            }
+        }
         self.stats.expired += dropped as u64;
         dropped
     }
@@ -354,6 +409,65 @@ mod tests {
         let dropped = t.purge_expired(SimTime(56));
         assert_eq!(dropped, 7);
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn amortized_sweep_drains_stale_entries_within_budget() {
+        let mut t = FlowTable::new(50);
+        for p in 0..10 {
+            t.insert_positive(ft(p), PolicyId(0), ActionList::permit(), SimTime(p as u64));
+        }
+        // same stale set as purge_expired_bulk: entries with last_seen <= 6
+        let mut dropped = 0;
+        let mut calls = 0;
+        while calls < 10 {
+            dropped += t.sweep(SimTime(56), 3);
+            calls += 1;
+            if dropped == 7 {
+                break;
+            }
+        }
+        assert_eq!(dropped, 7, "sweep must find what purge_expired finds");
+        assert_eq!(t.len(), 3);
+        assert!(calls >= 3, "budget 3 over 10 entries needs several calls");
+        assert_eq!(t.stats().expired, 7);
+    }
+
+    #[test]
+    fn sweep_spares_live_entries_and_restarts_cycles() {
+        let mut t = FlowTable::new(100);
+        for p in 0..8 {
+            t.insert_positive(ft(p), PolicyId(0), ActionList::permit(), SimTime(0));
+        }
+        // everything live: a full cycle drops nothing
+        for _ in 0..4 {
+            assert_eq!(t.sweep(SimTime(50), 2), 0);
+        }
+        assert_eq!(t.len(), 8);
+        // entries refreshed mid-cycle survive the next cycle too
+        assert!(t.lookup(&ft(0), SimTime(99), 1).is_some());
+        let dropped: usize = (0..8).map(|_| t.sweep(SimTime(100), 1)).sum();
+        assert_eq!(dropped + t.len(), 8);
+        assert!(t.lookup(&ft(0), SimTime(100), 1).is_some(), "refreshed entry lives");
+    }
+
+    #[test]
+    fn sweep_agrees_with_lookup_at_the_ttl_boundary() {
+        let mut t = FlowTable::new(50);
+        t.insert_positive(ft(1), PolicyId(0), ActionList::permit(), SimTime(0));
+        t.insert_positive(ft(2), PolicyId(0), ActionList::permit(), SimTime(1));
+        // at t=50: ft(1) has age ttl (stale), ft(2) age ttl-1 (live)
+        let dropped = t.sweep(SimTime(50), 10) + t.sweep(SimTime(50), 10);
+        assert_eq!(dropped, 1);
+        assert!(t.lookup(&ft(1), SimTime(50), 1).is_none());
+        assert!(t.lookup(&ft(2), SimTime(50), 1).is_some());
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let mut a = FlowTableStats { hits: 1, misses: 2, expired: 3 };
+        a.merge(&FlowTableStats { hits: 10, misses: 20, expired: 30 });
+        assert_eq!(a, FlowTableStats { hits: 11, misses: 22, expired: 33 });
     }
 
     #[test]

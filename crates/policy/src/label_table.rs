@@ -3,10 +3,10 @@
 //! keyed by the concatenation of the flow's source address and the
 //! proxy-assigned label.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use sdm_netsim::{Ipv4Addr, Label, SimTime};
+use sdm_util::FxHashMap;
 
 use crate::action::ActionList;
 use crate::policy::PolicyId;
@@ -62,7 +62,7 @@ pub struct LabelEntry {
 /// ```
 #[derive(Debug)]
 pub struct LabelTable {
-    entries: HashMap<LabelKey, LabelEntry>,
+    entries: FxHashMap<LabelKey, LabelEntry>,
     ttl: u64,
 }
 
@@ -75,7 +75,7 @@ impl LabelTable {
     pub fn new(ttl: u64) -> Self {
         assert!(ttl > 0, "label-table ttl must be positive");
         LabelTable {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             ttl,
         }
     }

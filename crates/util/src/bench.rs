@@ -194,7 +194,15 @@ impl Runner {
 
 fn out_path() -> PathBuf {
     if let Ok(p) = std::env::var("SDM_BENCH_OUT") {
-        return PathBuf::from(p);
+        let p = PathBuf::from(p);
+        // `cargo bench` runs each bench binary with the *package*
+        // directory as cwd; anchor relative overrides at the workspace
+        // root so every binary accumulates into the same file.
+        return if p.is_absolute() {
+            p
+        } else {
+            workspace_root().join(p)
+        };
     }
     workspace_root().join("results").join("BENCH_baseline.json")
 }

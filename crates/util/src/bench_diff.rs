@@ -91,6 +91,41 @@ fn median_of(stats: &Json) -> Option<f64> {
     }
 }
 
+/// Benchmarks present in `new` but absent from `baseline` (fresh benches
+/// with no baseline to regress against), as `(group, name)` pairs in the
+/// new document's order. [`diff`] skips them silently; gates should report
+/// them as "new (no baseline)" rather than leaving them invisible.
+pub fn unpaired_new(baseline: &Json, new: &Json) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let Json::Obj(groups) = new else {
+        return out;
+    };
+    for (group, benches) in groups {
+        let Json::Obj(benches) = benches else {
+            continue;
+        };
+        for (name, stats) in benches {
+            if median_of(stats).is_none() {
+                continue;
+            }
+            let paired = baseline
+                .get(group)
+                .and_then(|g| g.get(name))
+                .and_then(median_of)
+                .is_some();
+            if !paired {
+                out.push((group.clone(), name.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// The `median_ns` of one benchmark in a result document, if present.
+pub fn median_for(doc: &Json, group: &str, name: &str) -> Option<f64> {
+    doc.get(group).and_then(|g| g.get(name)).and_then(median_of)
+}
+
 /// Applies the regression gate: every delta whose ratio exceeds
 /// `fail_ratio` (e.g. 1.25 for "fail on >25% slowdown") is a failure.
 /// Returns the offending deltas; an empty vector means the gate passes.
@@ -173,6 +208,33 @@ mod tests {
         assert!(diff(&Json::Num(1.0), &Json::Obj(vec![])).is_empty());
         let base = doc(&[("g", "a", 100.0)]);
         assert!(diff(&base, &Json::Null).is_empty());
+    }
+
+    #[test]
+    fn unpaired_new_lists_only_fresh_benches() {
+        let base = doc(&[("sim", "a", 100.0), ("sim", "b", 200.0)]);
+        let new = doc(&[("sim", "a", 50.0), ("sim", "c", 1.0), ("sharding", "s4", 2.0)]);
+        let fresh = unpaired_new(&base, &new);
+        assert_eq!(
+            fresh,
+            vec![
+                ("sim".to_string(), "c".to_string()),
+                ("sharding".to_string(), "s4".to_string())
+            ]
+        );
+        // benches missing from `new` are not "new"
+        assert!(unpaired_new(&new, &base)
+            .iter()
+            .all(|(_, n)| n == "b"));
+        assert!(unpaired_new(&base, &Json::Null).is_empty());
+    }
+
+    #[test]
+    fn median_for_reads_one_bench() {
+        let d = doc(&[("g", "a", 123.0)]);
+        assert_eq!(median_for(&d, "g", "a"), Some(123.0));
+        assert_eq!(median_for(&d, "g", "missing"), None);
+        assert_eq!(median_for(&d, "missing", "a"), None);
     }
 
     #[test]

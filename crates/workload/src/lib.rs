@@ -16,8 +16,10 @@
 
 mod flows;
 mod policies;
+mod shard;
 mod trace;
 
 pub use flows::{generate_flows, generate_flows_with_total, Flow, WorkloadConfig};
+pub use shard::{shard_flows, to_flow_specs};
 pub use policies::{evaluation_policies, GeneratedPolicies, PolicyClass, PolicyClassCounts};
 pub use trace::{flows_from_text, flows_to_text, ParseTraceError};
