@@ -29,6 +29,12 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 phase "cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+phase "sdm-lint: hermetic source-lint gate over the workspace"
+cargo run --release --offline -p sdm-verify --bin sdm-lint -- --root .
+
+phase "verify-plan smoke: static plan verifier on campus + Waxman"
+cargo run --release --offline -p sdm-bench --bin verify_plan -- --packets 100000
+
 phase "table3 smoke run (reduced volume)"
 cargo run --release --offline -p sdm-bench --bin table3_distribution -- --packets 1000000
 

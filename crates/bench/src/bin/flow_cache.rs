@@ -85,13 +85,13 @@ fn main() {
     for n in [30usize, 300, 3000] {
         let set = synthetic_policies(n);
         let trie = TrieClassifier::build(&set);
-        let t = Instant::now();
+        let t = Instant::now(); // lint:allow(wall-clock)
         let mut acc = 0usize;
         for ft in &sample {
             acc += set.first_match(ft).map(|(id, _)| id.index()).unwrap_or(0);
         }
         let linear = t.elapsed();
-        let t = Instant::now();
+        let t = Instant::now(); // lint:allow(wall-clock)
         let mut acc2 = 0usize;
         for ft in &sample {
             acc2 += trie.classify(ft).map(|id| id.index()).unwrap_or(0);

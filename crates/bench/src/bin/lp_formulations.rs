@@ -35,14 +35,14 @@ fn main() {
     let flows = world.flows(total, seed.wrapping_add(5));
     let measure = world.run_strategy(Strategy::HotPotato, None, &flows);
 
-    let t = Instant::now();
+    let t = Instant::now(); // lint:allow(wall-clock)
     let (w2, reduced) = world
         .controller
         .solve_load_balanced(&measure.measurements, LbOptions::default())
         .expect("reduced LP must solve");
     let reduced_time = t.elapsed();
 
-    let t = Instant::now();
+    let t = Instant::now(); // lint:allow(wall-clock)
     let (w1, full) = world
         .controller
         .solve_load_balanced_full(&measure.measurements, LbOptions::default())

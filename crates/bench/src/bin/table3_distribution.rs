@@ -28,17 +28,17 @@ fn main() {
 
     println!("# Table III — load distribution (max/min packets per middlebox type),");
     println!("# campus topology at {total} total packets");
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // lint:allow(wall-clock)
     let world = World::build(&ExperimentConfig::campus(seed));
     eprintln!("[table3] build world: {:.3}s", t0.elapsed().as_secs_f64());
-    let t1 = Instant::now();
+    let t1 = Instant::now(); // lint:allow(wall-clock)
     let flows = world.flows(total, seed.wrapping_add(42));
     eprintln!(
         "[table3] generate {} flows: {:.3}s",
         flows.len(),
         t1.elapsed().as_secs_f64()
     );
-    let t2 = Instant::now();
+    let t2 = Instant::now(); // lint:allow(wall-clock)
     let c = world.compare_strategies_sharded(&flows, shards);
     eprintln!(
         "[table3] run 3 strategies ({shards} shard{}): {:.3}s",

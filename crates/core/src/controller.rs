@@ -115,27 +115,21 @@ impl Controller {
     ///
     /// # Panics
     ///
-    /// Panics if any policy's action list repeats a function (e.g.
-    /// `FW → IDS → FW`). The LP formulations handle such chains, but the
-    /// data plane resolves a middlebox's chain position by its function,
-    /// which is ambiguous under repetition — the same restriction the
-    /// paper's design implies. Split such a policy into two.
+    /// Panics if the static plan verifier ([`crate::verify_controller`])
+    /// finds a fatal misconfiguration: a policy chain that repeats a
+    /// function (e.g. `FW → IDS → FW` — the data plane resolves a
+    /// middlebox's chain position by its function, which is ambiguous
+    /// under repetition), a function no available middlebox implements, a
+    /// steer point with no candidate for a required function, a steering
+    /// loop, an address collision, or a middlebox attached to a
+    /// non-existent router. The panic message is the full diagnostic
+    /// report with `V0xx` error codes.
     pub fn new(
         plan: NetworkPlan,
         deployment: Deployment,
         policies: PolicySet,
         k: KConfig,
     ) -> Self {
-        for (id, p) in policies.iter() {
-            let fns = p.actions.functions();
-            for (i, f) in fns.iter().enumerate() {
-                assert!(
-                    !fns[i + 1..].contains(f),
-                    "policy {id} repeats function {f} in its chain; the data \
-plane cannot disambiguate repeated functions — split the policy"
-                );
-            }
-        }
         let routes = plan.topology().routing_tables();
         let addr_plan = AddressPlan::new(&plan);
         let assignments = Assignments::compute_with_gateways(
@@ -145,7 +139,7 @@ plane cannot disambiguate repeated functions — split the policy"
             plan.gateways(),
             &k,
         );
-        Controller {
+        let controller = Controller {
             plan,
             addr_plan,
             routes,
@@ -153,7 +147,10 @@ plane cannot disambiguate repeated functions — split the policy"
             policies,
             k,
             assignments,
-        }
+        };
+        let report = crate::verify::verify_controller(&controller);
+        assert!(!report.has_errors(), "{report}");
+        controller
     }
 
     /// The network plan under management.

@@ -64,6 +64,7 @@ mod report;
 mod runtime;
 mod shard;
 mod steer;
+mod verify;
 
 pub use controller::{ConfigFootprint, Controller, Enforcement, EnforcementOptions};
 pub use deployment::{Deployment, MiddleboxId, MiddleboxSpec};
@@ -81,3 +82,4 @@ pub use steer::{
     select_next, Assignments, CommodityKey, KConfig, SteerPoint, SteeringEncoding,
     SteeringWeights, Strategy, WeightKey,
 };
+pub use verify::{plan_view, verify_controller, verify_enforcement};

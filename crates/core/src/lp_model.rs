@@ -19,7 +19,7 @@
 //! `J'_p(e)`), the builder walks each policy's action list by *stage
 //! index*, which handles repeated functions in a chain unambiguously.
 
-use std::collections::HashMap;
+use sdm_util::FxHashMap;
 use std::fmt;
 
 use sdm_lp::{LinearProgram, Relation, SolveError, VarId};
@@ -225,7 +225,8 @@ fn extract_weights(
             }
         }
         // group transitions by (stage, from)
-        let mut by_from: HashMap<(usize, MiddleboxId), Vec<(MiddleboxId, f64)>> = HashMap::new();
+        let mut by_from: FxHashMap<(usize, MiddleboxId), Vec<(MiddleboxId, f64)>> =
+            FxHashMap::default();
         for &(i, x, y, v) in &pv.transitions {
             if x == y {
                 continue; // local application, no steering decision
@@ -336,7 +337,7 @@ fn assemble_reduced(
             }
         }
         // final vars tf[x] for stage K boxes
-        let mut finals: HashMap<MiddleboxId, VarId> = HashMap::new();
+        let mut finals: FxHashMap<MiddleboxId, VarId> = FxHashMap::default();
         for &x in &stages[k - 1].boxes {
             finals.insert(x, lp.add_var(format!("tf[{p}][{x}]"), 0.0));
         }
@@ -510,7 +511,7 @@ pub fn build_full(
                 }
             }
         }
-        let mut finals: HashMap<MiddleboxId, VarId> = HashMap::new();
+        let mut finals: FxHashMap<MiddleboxId, VarId> = FxHashMap::default();
         for &x in &stages[k - 1].boxes {
             finals.insert(x, lp.add_var(format!("tf[{s}->{d}][{p}][{x}]"), 0.0));
         }
@@ -584,8 +585,9 @@ pub fn build_full(
     // coarse fallback, and install exact per-commodity weights under
     // `CommodityKey`s (Eq. 1's t_{s,d,p}(x, y)).
     let mut weights = SteeringWeights::new(sol.value(lambda));
-    let mut acc: HashMap<WeightKey, HashMap<MiddleboxId, f64>> = HashMap::new();
-    let mut fine: HashMap<CommodityKey, HashMap<MiddleboxId, f64>> = HashMap::new();
+    let mut acc: FxHashMap<WeightKey, FxHashMap<MiddleboxId, f64>> = FxHashMap::default();
+    let mut fine: FxHashMap<CommodityKey, FxHashMap<MiddleboxId, f64>> =
+        FxHashMap::default();
     for cv in &all {
         for &(y, v) in &cv.first {
             let key = WeightKey {

@@ -238,6 +238,14 @@ impl Controller {
         flows: &[FlowSpec],
         shards: usize,
     ) -> ShardedRun {
+        // Fail-fast (see ISSUE 5 / sdm-verify): prove the full enforcement
+        // plan — including the LP solution and the runtime options — before
+        // any packet is injected. A broken weight column or a zero TTL
+        // panics here with the structured V0xx report instead of silently
+        // blackholing traffic mid-run.
+        let report = crate::verify::verify_enforcement(self, weights, &options);
+        assert!(!report.has_errors(), "{report}");
+
         let shards = shards.max(1);
         let mut buckets: Vec<Vec<FlowSpec>> = vec![Vec::new(); shards];
         for spec in flows {
@@ -254,6 +262,7 @@ impl Controller {
         });
 
         let mut iter = snapshots.into_iter();
+        // lint:allow(hot-path-panic) — resolve_shards guarantees shards >= 1
         let first = iter.next().expect("at least one shard");
         let mut run = ShardedRun {
             shards,

@@ -19,8 +19,9 @@
 //! arena and sends lightweight fragments that reference it, so the
 //! forwarding path never deep-clones a packet.
 
-use std::collections::HashMap;
 use std::fmt;
+
+use sdm_util::FxHashMap;
 
 use sdm_topology::{NetworkPlan, NodeId, NodeKind, RoutingTables, Topology};
 
@@ -416,7 +417,7 @@ pub struct Simulator {
     frag_seq: u64,
     /// Per-split reassembly state, keyed by fragment id: the parent packet
     /// stays parked in the arena until the last fragment arrives.
-    reassembly: HashMap<u64, FragState>,
+    reassembly: FxHashMap<u64, FragState>,
     /// Per-device (service ticks per packet, busy-until time).
     service: Vec<(u64, SimTime)>,
 }
@@ -515,7 +516,7 @@ impl Simulator {
             ecmp: EcmpMode::Disabled,
             frag_mode: FragmentationMode::CountOnly,
             frag_seq: 0,
-            reassembly: HashMap::new(),
+            reassembly: FxHashMap::default(),
             service: Vec::new(),
         };
         sim.rebuild_gateway_table();
@@ -1056,8 +1057,10 @@ impl Simulator {
             }
         }
         if st.received.iter().all(|&r| r) {
+            // lint:allow(hot-path-panic) — entry was checked present above
             let st = self.reassembly.remove(&info.id).expect("just present");
             self.stats.reassembly_events += 1;
+            // lint:allow(hot-path-panic) — set by the fragment that filled the map
             let ttl = st.first_ttl.expect("at least one fragment received");
             let whole = st.parent;
             let p = self.arena.get_mut(whole);

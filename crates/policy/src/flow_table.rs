@@ -145,6 +145,7 @@ impl FlowTable {
             }
             _ => {
                 self.stats.hits += weight;
+                // lint:allow(hot-path-panic) — the match arm proved the key present
                 let e = self.entries.get_mut(ft).expect("checked above");
                 e.last_seen = now;
                 Some(e)

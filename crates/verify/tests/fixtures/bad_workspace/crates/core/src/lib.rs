@@ -1,0 +1,13 @@
+// Deliberately broken fixture for the sdm-lint gate test. Every construct
+// below violates a rule; the file is never compiled. It also lacks the
+// mandatory crate-level forbid attribute (rule: unsafe-code).
+
+use std::collections::HashMap;
+
+pub fn broken() -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new(); // rule: default-hasher
+    m.insert(1, 2);
+    let _t = std::time::Instant::now(); // rule: wall-clock
+    let p: *const u32 = &0;
+    unsafe { *p as usize } // rule: unsafe-code (token)
+}

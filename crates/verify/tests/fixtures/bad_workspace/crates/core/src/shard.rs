@@ -1,0 +1,5 @@
+// Hot-path file (suffix core/src/shard.rs) for the sdm-lint gate test.
+
+pub fn pick(v: &[u32]) -> u32 {
+    *v.first().unwrap() // rule: hot-path-panic
+}

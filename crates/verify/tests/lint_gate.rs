@@ -1,0 +1,88 @@
+//! End-to-end tests of the `sdm-lint` gate: the library scan and the
+//! compiled binary must reject the seeded-violation fixture workspace
+//! (`tests/fixtures/bad_workspace`) with every rule firing, and the binary
+//! must pass the real workspace clean — exactly what ci.sh relies on.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use sdm_verify::{lint_workspace, LintConfig};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad_workspace")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn fixture_trips_every_rule() {
+    let violations =
+        lint_workspace(&LintConfig::new(fixture_root())).expect("fixture scan succeeds");
+    let rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+    for rule in [
+        sdm_verify::lint::RULE_DEFAULT_HASHER,
+        sdm_verify::lint::RULE_WALL_CLOCK,
+        sdm_verify::lint::RULE_HOT_PATH_PANIC,
+        sdm_verify::lint::RULE_UNSAFE_CODE,
+    ] {
+        assert!(
+            rules.contains(&rule),
+            "fixture must trip {rule}: {violations:?}"
+        );
+    }
+    // The missing #![forbid(unsafe_code)] attribute is reported at line 0
+    // of lib.rs, distinct from the `unsafe` block inside the function.
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == sdm_verify::lint::RULE_UNSAFE_CODE && v.line == 0),
+        "missing crate attribute must be reported: {violations:?}"
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_on_fixture() {
+    let out = Command::new(env!("CARGO_BIN_EXE_sdm-lint"))
+        .arg("--root")
+        .arg(fixture_root())
+        .output()
+        .expect("run sdm-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("default-hasher"), "{stdout}");
+    assert!(stdout.contains("crates/core/src/shard.rs"), "{stdout}");
+}
+
+#[test]
+fn binary_passes_the_real_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_sdm-lint"))
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("run sdm-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "the workspace must lint clean:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn binary_reports_usage_error_on_bad_root() {
+    let out = Command::new(env!("CARGO_BIN_EXE_sdm-lint"))
+        .arg("--root")
+        .arg(fixture_root().join("does-not-exist"))
+        .output()
+        .expect("run sdm-lint");
+    assert_eq!(out.status.code(), Some(2), "I/O errors must exit 2");
+}

@@ -1,0 +1,421 @@
+//! One negative-path test per verifier error code (V001–V015): each test
+//! builds the minimal healthy plan, breaks exactly one invariant, and
+//! asserts the verifier rejects it with the expected code — and nothing
+//! unrelated. A final test pins the JSON report format byte-for-byte
+//! against a golden fixture.
+
+use sdm_netsim::{Ipv4Addr, Prefix};
+use sdm_policy::NetworkFunction::{self, *};
+use sdm_verify::{
+    verify_plan, CandidateSet, ChainView, ErrorCode, MboxView, OptionsView, PlanView, Point,
+    Severity, VerifyReport, WeightColumn, WeightsView,
+};
+
+/// The same minimal healthy world the unit tests use: 2 FWs + 1 IDS, one
+/// FW→IDS policy, two /20 stubs, one gateway, full candidate sets.
+fn healthy() -> PlanView {
+    let subnet = |i: u32| Prefix::new(Ipv4Addr::from_octets([10, 0, (16 * i) as u8, 0]), 20);
+    let addr = |i: u32| Ipv4Addr::from_octets([172, 16, 0, 1 + i as u8]);
+    let mbox = |fns: Vec<NetworkFunction>, router: usize, i: u32| MboxView {
+        functions: fns,
+        router,
+        capacity: 1.0,
+        available: true,
+        addr: addr(i),
+    };
+    let mut candidates = Vec::new();
+    for p in 0..2u32 {
+        candidates.push(CandidateSet {
+            point: Point::Proxy(p),
+            function: Firewall,
+            members: vec![0, 1],
+        });
+        candidates.push(CandidateSet {
+            point: Point::Proxy(p),
+            function: Ids,
+            members: vec![2],
+        });
+    }
+    candidates.push(CandidateSet {
+        point: Point::Gateway(0),
+        function: Firewall,
+        members: vec![1, 0],
+    });
+    candidates.push(CandidateSet {
+        point: Point::Gateway(0),
+        function: Ids,
+        members: vec![2],
+    });
+    for m in 0..2u32 {
+        candidates.push(CandidateSet {
+            point: Point::Middlebox(m),
+            function: Ids,
+            members: vec![2],
+        });
+    }
+    candidates.push(CandidateSet {
+        point: Point::Middlebox(2),
+        function: Firewall,
+        members: vec![0, 1],
+    });
+    PlanView {
+        node_count: 10,
+        stub_subnets: vec![subnet(0), subnet(1)],
+        gateway_count: 1,
+        middleboxes: vec![
+            mbox(vec![Firewall], 0, 0),
+            mbox(vec![Firewall], 1, 1),
+            mbox(vec![Ids], 2, 2),
+        ],
+        policies: vec![ChainView {
+            policy: 0,
+            chain: vec![Firewall, Ids],
+        }],
+        k: vec![(Firewall, 2), (Ids, 1)],
+        candidates,
+        weights: None,
+        options: Some(OptionsView {
+            flow_ttl: 1_000,
+            label_ttl: 1_000,
+            mtu: 1500,
+        }),
+    }
+}
+
+/// Asserts the report contains `code` and that every *error* in it carries
+/// that code (the broken invariant must not cascade into unrelated codes).
+fn assert_only(report: &VerifyReport, code: ErrorCode) {
+    assert!(report.has_code(code), "expected {code:?}: {report}");
+    for e in report.errors() {
+        assert_eq!(e.code, code, "unexpected extra error: {report}");
+    }
+}
+
+#[test]
+fn v001_chain_repeats_function() {
+    let mut view = healthy();
+    view.policies.push(ChainView {
+        policy: 1,
+        chain: vec![Firewall, Ids, Firewall],
+    });
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::ChainRepeatsFunction);
+    assert!(report.has_errors());
+}
+
+#[test]
+fn v002_function_unimplemented() {
+    let mut view = healthy();
+    view.policies.push(ChainView {
+        policy: 1,
+        chain: vec![WebProxy], // no WP middlebox anywhere
+    });
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::FunctionUnimplemented);
+    assert!(report.has_errors());
+}
+
+#[test]
+fn v002_counts_a_failed_middlebox_as_missing() {
+    let mut view = healthy();
+    view.middleboxes[2].available = false; // the only IDS is down
+    let report = verify_plan(&view);
+    assert!(
+        report.has_code(ErrorCode::FunctionUnimplemented),
+        "{report}"
+    );
+}
+
+#[test]
+fn v003_unreachable_function_at_a_steer_point() {
+    let mut view = healthy();
+    // The gateway loses its IDS candidate set; IDS is still implemented.
+    view.candidates
+        .retain(|c| !(c.point == Point::Gateway(0) && c.function == Ids));
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::UnreachableFunction);
+    let subjects: Vec<_> = report.errors().map(|e| e.subject.clone()).collect();
+    assert!(subjects.iter().any(|s| s == "gw(0)"), "{report}");
+}
+
+#[test]
+fn v003_chain_continuation_needs_a_next_stage_candidate() {
+    let mut view = healthy();
+    // FW box m0 serves stage Firewall but can no longer reach stage Ids.
+    view.candidates
+        .retain(|c| !(c.point == Point::Middlebox(0) && c.function == Ids));
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::UnreachableFunction);
+    assert!(
+        report.errors().any(|e| e.subject == "mbox(m0)"),
+        "{report}"
+    );
+}
+
+#[test]
+fn v004_candidate_shortfall_is_a_warning() {
+    let mut view = healthy();
+    view.k = vec![(Firewall, 5), (Ids, 1)]; // only 2 FWs exist
+    let report = verify_plan(&view);
+    assert!(report.has_code(ErrorCode::CandidateShortfall), "{report}");
+    assert!(!report.has_errors(), "shortfall must not be fatal: {report}");
+    assert_eq!(ErrorCode::CandidateShortfall.severity(), Severity::Warning);
+}
+
+#[test]
+fn v005_steering_loop_between_non_implementing_boxes() {
+    let mut view = healthy();
+    // The two FW boxes tunnel IDS-bound traffic to each other forever.
+    for c in &mut view.candidates {
+        if c.function == Ids {
+            match c.point {
+                Point::Middlebox(0) => c.members = vec![1],
+                Point::Middlebox(1) => c.members = vec![0],
+                _ => {}
+            }
+        }
+    }
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::SteeringLoop);
+    assert!(report.has_errors());
+}
+
+fn with_weights(mut view: PlanView, lambda: f64, columns: Vec<WeightColumn>) -> PlanView {
+    view.weights = Some(WeightsView { lambda, columns });
+    view
+}
+
+#[test]
+fn v006_negative_weight() {
+    let view = with_weights(
+        healthy(),
+        10.0,
+        vec![WeightColumn {
+            point: Point::Proxy(0),
+            policy: 0,
+            next_index: 0,
+            weights: vec![(0, -5.0), (1, 10.0)],
+        }],
+    );
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::NegativeWeight);
+}
+
+#[test]
+fn v007_all_zero_first_hop_column() {
+    let view = with_weights(
+        healthy(),
+        1.0,
+        vec![WeightColumn {
+            point: Point::Proxy(0),
+            policy: 0,
+            next_index: 0,
+            weights: vec![(0, 0.0), (1, 0.0)],
+        }],
+    );
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::ZeroWeightColumn);
+}
+
+#[test]
+fn v007_all_zero_middlebox_transition_column_is_fine() {
+    // An LP optimum that routes no traffic through a box still installs
+    // its (all-zero) transition column — the hot-potato fallback covers
+    // stray flows, so this must NOT be rejected.
+    let view = with_weights(
+        healthy(),
+        10.0,
+        vec![WeightColumn {
+            point: Point::Middlebox(0),
+            policy: 0,
+            next_index: 1,
+            weights: vec![(2, 0.0)],
+        }],
+    );
+    let report = verify_plan(&view);
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn v008_non_finite_weight_breaks_normalization() {
+    let view = with_weights(
+        healthy(),
+        10.0,
+        vec![WeightColumn {
+            point: Point::Proxy(0),
+            policy: 0,
+            next_index: 0,
+            weights: vec![(0, f64::INFINITY), (1, 1.0)],
+        }],
+    );
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::WeightSumMismatch);
+}
+
+#[test]
+fn v009_weight_outside_candidate_set() {
+    // m2 (the IDS) is not in Proxy(0)'s Firewall candidate set.
+    let view = with_weights(
+        healthy(),
+        10.0,
+        vec![WeightColumn {
+            point: Point::Proxy(0),
+            policy: 0,
+            next_index: 0,
+            weights: vec![(2, 5.0)],
+        }],
+    );
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::WeightOutsideCandidates);
+}
+
+#[test]
+fn v009_weight_for_nonexistent_chain_stage() {
+    let view = with_weights(
+        healthy(),
+        10.0,
+        vec![WeightColumn {
+            point: Point::Proxy(0),
+            policy: 0,
+            next_index: 7, // the chain has stages 0 and 1
+            weights: vec![(0, 5.0)],
+        }],
+    );
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::WeightOutsideCandidates);
+}
+
+#[test]
+fn v010_projected_load_exceeds_lambda_capacity() {
+    let view = with_weights(
+        healthy(),
+        1.0, // λ·C(m0) = 1.0, but 100 packets are steered into m0
+        vec![WeightColumn {
+            point: Point::Proxy(0),
+            policy: 0,
+            next_index: 0,
+            weights: vec![(0, 100.0)],
+        }],
+    );
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::CapacityExceeded);
+    assert!(report.errors().any(|e| e.subject == "mbox(m0)"), "{report}");
+}
+
+#[test]
+fn v010_non_positive_lambda_with_routed_traffic() {
+    let view = with_weights(
+        healthy(),
+        0.0,
+        vec![WeightColumn {
+            point: Point::Proxy(0),
+            policy: 0,
+            next_index: 0,
+            weights: vec![(0, 5.0), (1, 5.0)],
+        }],
+    );
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::CapacityExceeded);
+    assert!(report.errors().any(|e| e.subject == "lambda"), "{report}");
+}
+
+#[test]
+fn v011_zero_ttl() {
+    let mut view = healthy();
+    view.options = Some(OptionsView {
+        flow_ttl: 0,
+        label_ttl: 0,
+        mtu: 1500,
+    });
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::ZeroTtl);
+    assert_eq!(report.errors().count(), 2, "{report}"); // flow + label
+}
+
+#[test]
+fn v012_label_ttl_exceeds_flow_ttl() {
+    let mut view = healthy();
+    view.options = Some(OptionsView {
+        flow_ttl: 10,
+        label_ttl: 20,
+        mtu: 1500,
+    });
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::LabelTtlExceedsFlowTtl);
+}
+
+#[test]
+fn v013_duplicate_middlebox_address() {
+    let mut view = healthy();
+    view.middleboxes[1].addr = view.middleboxes[0].addr;
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::AddressCollision);
+}
+
+#[test]
+fn v013_overlapping_stub_subnets() {
+    let mut view = healthy();
+    view.stub_subnets[1] = view.stub_subnets[0];
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::AddressCollision);
+}
+
+#[test]
+fn v013_middlebox_address_inside_a_stub_subnet() {
+    let mut view = healthy();
+    view.middleboxes[0].addr = Ipv4Addr::from_octets([10, 0, 0, 5]);
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::AddressCollision);
+}
+
+#[test]
+fn v014_mtu_too_small_for_encapsulation() {
+    let mut view = healthy();
+    view.options = Some(OptionsView {
+        flow_ttl: 1_000,
+        label_ttl: 1_000,
+        mtu: 40, // two IP headers leave no payload byte
+    });
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::MtuTooSmall);
+}
+
+#[test]
+fn v015_dangling_router_attachment() {
+    let mut view = healthy();
+    view.middleboxes[2].router = 99; // node_count is 10
+    let report = verify_plan(&view);
+    assert_only(&report, ErrorCode::DanglingAttachment);
+}
+
+/// The JSON report format is a wire format (ci.sh and external tooling
+/// parse it): pin a multi-diagnostic report byte-for-byte.
+#[test]
+fn golden_json_report() {
+    let mut view = healthy();
+    view.options = Some(OptionsView {
+        flow_ttl: 0,
+        label_ttl: 0,
+        mtu: 10,
+    });
+    view.policies.push(ChainView {
+        policy: 1,
+        chain: vec![Firewall, Ids, Firewall],
+    });
+    view.k = vec![(Firewall, 5), (Ids, 1)];
+    let report = verify_plan(&view);
+    let rendered = report.to_json().to_string_pretty();
+    if std::env::var_os("SDM_REGEN_GOLDEN").is_some() {
+        std::fs::write(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden_report.json"),
+            format!("{rendered}\n"),
+        )
+        .expect("write golden fixture");
+    }
+    let golden = include_str!("fixtures/golden_report.json");
+    assert_eq!(
+        rendered,
+        golden.trim_end_matches('\n'),
+        "JSON report drifted from tests/fixtures/golden_report.json"
+    );
+}

@@ -9,6 +9,8 @@
 //! * [`lp`] — linear-programming solver used for load-balanced enforcement.
 //! * [`core`] — controller, policy proxies, middleboxes and steering strategies.
 //! * [`workload`] — workload generation per the paper's evaluation section.
+//! * [`verify`] — static analysis: the enforcement-plan verifier and the
+//!   `sdm-lint` source scanner.
 //! * [`util`] — in-tree infrastructure (PRNG, property-testing and bench
 //!   harnesses, JSON, scoped-thread parallel map); keeps the build hermetic.
 //!
@@ -28,4 +30,5 @@ pub use sdm_netsim as netsim;
 pub use sdm_policy as policy;
 pub use sdm_topology as topology;
 pub use sdm_util as util;
+pub use sdm_verify as verify;
 pub use sdm_workload as workload;

@@ -172,20 +172,25 @@ fn multi_function_box_applies_consecutively() {
     assert_eq!(st.lock().counters.applications, 50, "both functions applied");
 }
 
-/// Traffic with no deployed middlebox for its function is dropped and
+/// Traffic whose function has no *available* middlebox is dropped and
 /// counted as unenforceable — dependable enforcement never lets
-/// policy-matching traffic bypass its chain.
+/// policy-matching traffic bypass its chain. A plan with no implementing
+/// middlebox at all is rejected statically by `Controller::new` (the
+/// verifier's V002); the runtime drop path covers the remaining case, a
+/// middlebox lost *after* planning.
 #[test]
 fn unenforceable_traffic_is_dropped_not_leaked() {
     let plan = campus(2);
     let mut dep = Deployment::new();
     dep.add(MiddleboxSpec::new(Firewall, plan.cores()[1], 1.0));
+    let wp = dep.add(MiddleboxSpec::new(WebProxy, plan.cores()[2], 1.0));
     let mut pol = PolicySet::new();
     pol.push(Policy::new(
         TrafficDescriptor::new().dst_port(80),
-        ActionList::chain([WebProxy]), // no WP deployed
+        ActionList::chain([WebProxy]),
     ));
-    let c = Controller::new(plan, dep, pol, KConfig::uniform(1));
+    let mut c = Controller::new(plan, dep, pol, KConfig::uniform(1));
+    c.fail_middlebox(wp); // the only WP dies after the plan verified
     let mut enf = c.enforcement(Strategy::HotPotato, None, EnforcementOptions::default());
     enf.inject_flow(flow(&c, 0, 4, 700, 80), 10, 100);
     enf.run();

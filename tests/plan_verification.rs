@@ -1,0 +1,149 @@
+//! Workspace integration tests for the static plan verifier's fail-fast
+//! hooks: `Controller::new` rejects structurally broken plans, and
+//! `Controller::run_sharded` rejects broken LP solutions and runtime
+//! options before injecting a single packet.
+//!
+//! The weight-column tests are the regression tie to the PR-2 steering
+//! fix: an all-zero or negative first-hop column — the exact shape that
+//! once made the data plane divide by a zero weight sum — is now caught
+//! statically with a dedicated error code (V006 / V007).
+
+use sdm::core::{
+    verify_controller, verify_enforcement, Controller, Deployment, EnforcementOptions,
+    FlowSpec, KConfig, MiddleboxId, MiddleboxSpec, SteerPoint, SteeringWeights, Strategy,
+    WeightKey,
+};
+use sdm::netsim::{FiveTuple, Protocol, StubId};
+use sdm::policy::{ActionList, NetworkFunction, Policy, PolicySet, PolicyId, TrafficDescriptor};
+use sdm::topology::campus::campus;
+use sdm::verify::ErrorCode;
+
+use NetworkFunction::*;
+
+/// A small healthy world: FW + IDS boxes, one FW→IDS web policy.
+fn healthy_controller() -> Controller {
+    let plan = campus(2);
+    let mut dep = Deployment::new();
+    dep.add(MiddleboxSpec::new(Firewall, plan.cores()[1], 1.0));
+    dep.add(MiddleboxSpec::new(Ids, plan.cores()[9], 1.0));
+    let mut pol = PolicySet::new();
+    pol.push(Policy::new(
+        TrafficDescriptor::new().dst_port(80),
+        ActionList::chain([Firewall, Ids]),
+    ));
+    Controller::new(plan, dep, pol, KConfig::uniform(1))
+}
+
+fn specs(c: &Controller) -> Vec<FlowSpec> {
+    vec![FlowSpec {
+        flow: FiveTuple {
+            src: c.addr_plan().host(StubId(0), 0),
+            dst: c.addr_plan().host(StubId(6), 0),
+            src_port: 1000,
+            dst_port: 80,
+            proto: Protocol::Tcp,
+        },
+        packets: 10,
+        payload: 500,
+    }]
+}
+
+/// The first-hop weight key every test column targets: proxy of stub 0,
+/// policy 0, towards chain stage 0 (the firewall).
+fn first_hop_key() -> WeightKey {
+    WeightKey {
+        point: SteerPoint::Proxy(StubId(0)),
+        policy: PolicyId(0),
+        next_index: 0,
+    }
+}
+
+#[test]
+fn healthy_controller_verifies_clean() {
+    let c = healthy_controller();
+    let report = verify_controller(&c);
+    assert!(report.is_clean(), "{report}");
+    let report = verify_enforcement(&c, None, &EnforcementOptions::default());
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+#[should_panic(expected = "V002")]
+fn controller_rejects_an_unimplemented_function() {
+    let plan = campus(2);
+    let mut dep = Deployment::new();
+    dep.add(MiddleboxSpec::new(Firewall, plan.cores()[1], 1.0));
+    let mut pol = PolicySet::new();
+    pol.push(Policy::new(
+        TrafficDescriptor::new().dst_port(80),
+        ActionList::chain([WebProxy]), // nothing implements WP
+    ));
+    let _ = Controller::new(plan, dep, pol, KConfig::uniform(1));
+}
+
+/// PR-2 regression tie: the all-zero first-hop column is reported as
+/// V007 (zero-weight-column) by the enforcement verifier.
+#[test]
+fn all_zero_first_hop_column_is_reported() {
+    let c = healthy_controller();
+    let mut w = SteeringWeights::new(1.0);
+    w.set(first_hop_key(), vec![(MiddleboxId(0), 0.0)]);
+    let report = verify_enforcement(&c, Some(&w), &EnforcementOptions::default());
+    assert!(report.has_code(ErrorCode::ZeroWeightColumn), "{report}");
+    assert!(report.has_errors());
+}
+
+/// PR-2 regression tie: a negative weight is reported as V006.
+#[test]
+fn negative_weight_column_is_reported() {
+    let c = healthy_controller();
+    let mut w = SteeringWeights::new(10.0);
+    w.set(first_hop_key(), vec![(MiddleboxId(0), -3.0)]);
+    let report = verify_enforcement(&c, Some(&w), &EnforcementOptions::default());
+    assert!(report.has_code(ErrorCode::NegativeWeight), "{report}");
+}
+
+/// The sharded runtime refuses to start with the broken column installed
+/// — the report (with its V007 code) is the panic message.
+#[test]
+#[should_panic(expected = "V007")]
+fn run_sharded_fail_fasts_on_a_zero_weight_column() {
+    let c = healthy_controller();
+    let flows = specs(&c);
+    let mut w = SteeringWeights::new(1.0);
+    w.set(first_hop_key(), vec![(MiddleboxId(0), 0.0)]);
+    let _ = c.run_sharded(
+        Strategy::LoadBalanced,
+        Some(&w),
+        EnforcementOptions::default(),
+        &flows,
+        2,
+    );
+}
+
+#[test]
+#[should_panic(expected = "V011")]
+fn run_sharded_fail_fasts_on_a_zero_flow_ttl() {
+    let c = healthy_controller();
+    let flows = specs(&c);
+    let options = EnforcementOptions {
+        flow_ttl: 0,
+        ..Default::default()
+    };
+    let _ = c.run_sharded(Strategy::HotPotato, None, options, &flows, 2);
+}
+
+/// A valid LP solution straight out of the solver passes the same check
+/// the sharded runtime applies — the gate accepts what the controller
+/// actually produces.
+#[test]
+fn solved_lp_weights_verify_clean() {
+    let c = healthy_controller();
+    let flows = specs(&c);
+    let hp = c.run_sharded(Strategy::HotPotato, None, Default::default(), &flows, 1);
+    let (w, _) = c
+        .solve_load_balanced(&hp.measurements, Default::default())
+        .expect("LP solves");
+    let report = verify_enforcement(&c, Some(&w), &EnforcementOptions::default());
+    assert!(report.is_clean(), "{report}");
+}
