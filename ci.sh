@@ -29,6 +29,10 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 phase "cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+phase "cargo doc --no-deps (rustdoc warnings are errors) + doc-examples"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+cargo test -q --doc --offline --workspace
+
 phase "sdm-lint: hermetic source-lint gate over the workspace"
 cargo run --release --offline -p sdm-verify --bin sdm-lint -- --root .
 
@@ -46,8 +50,16 @@ SDM_SHARDS=4 cargo run --release --offline -p sdm-bench --bin table3_distributio
 cmp /tmp/sdm_table3_shards1.txt /tmp/sdm_table3_shards4.txt
 echo "    table3 output is byte-identical at 1 and 4 shards"
 
-phase "micro-benchmarks -> results/BENCH_pr4.json"
-SDM_BENCH_OUT=results/BENCH_pr4.json cargo bench --workspace --offline
+phase "batched determinism smoke: SDM_BATCH=1 vs SDM_BATCH=256 byte-identical"
+SDM_BATCH=1 cargo run --release --offline -p sdm-bench --bin table3_distribution -- \
+    --packets 1000000 > /tmp/sdm_table3_batch1.txt
+SDM_BATCH=256 cargo run --release --offline -p sdm-bench --bin table3_distribution -- \
+    --packets 1000000 > /tmp/sdm_table3_batch256.txt
+cmp /tmp/sdm_table3_batch1.txt /tmp/sdm_table3_batch256.txt
+echo "    table3 output is byte-identical at batch 1 and 256"
+
+phase "micro-benchmarks -> results/BENCH_pr6.json"
+SDM_BENCH_OUT=results/BENCH_pr6.json cargo bench --workspace --offline
 
 phase "bench regression gate (>25% median slowdown fails)"
 cargo run --release --offline -p sdm-bench --bin bench_gate

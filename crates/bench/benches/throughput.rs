@@ -1,0 +1,114 @@
+//! Benchmark: packets-per-second of the vector (batched) hot path vs the
+//! scalar path, on the Figure-4 campus hot-potato workload.
+//!
+//! Two regimes are measured:
+//!
+//! - **aggregate** (`hp_10m_*`): the full 10M-packet population injected
+//!   through the exact flow-aggregate fast path (one weighted event per
+//!   flow), at 1 and 4 shards — the configuration every figure binary
+//!   runs. Aggregates collapse each flow into a single event, so
+//!   same-flow runs have length 1 and batching can only amortise queue
+//!   drains and device-lock acquisition.
+//! - **packet-level** (`hp_1m_pktlevel_*`): a 1M-packet slice of the same
+//!   population injected as individual back-to-back packets. Consecutive
+//!   same-flow packets form real runs at each device, so the per-run
+//!   flow/label-table probe amortisation engages — this is the regime the
+//!   vector path is designed for, and the one `bench_gate` holds against
+//!   the batched-speedup target.
+//!
+//! Batch size is set through `SDM_BATCH` before each bench — every shard's
+//! private simulator reads it at construction — so `b1` runs the legacy
+//! scalar loop and `b256` the vector loop over identical inputs (the
+//! sanity asserts below pin that they produce identical results).
+//! `bench_gate` derives pkt/s from the fixed packet volumes and enforces
+//! the batched-vs-scalar speedup target on hosts with ≥4 cores, reporting
+//! it informationally on smaller hosts.
+
+use std::hint::black_box;
+
+use sdm_bench::{ExperimentConfig, World};
+use sdm_core::Strategy;
+use sdm_util::bench::Runner;
+
+/// Aggregate-path packet volume; `bench_gate` divides by the measured
+/// median to report pkt/s, so keep in sync with `THROUGHPUT_PACKETS`
+/// there.
+const PACKETS: u64 = 10_000_000;
+
+/// Packet-level volume (one event per packet per hop — two orders of
+/// magnitude more events per packet than the aggregate path). Keep in
+/// sync with `THROUGHPUT_PACKETS_PKTLEVEL` in `bench_gate`.
+const PACKETS_PKTLEVEL: u64 = 1_000_000;
+
+fn main() {
+    // A full run takes seconds; keep the default sample count small
+    // unless the caller asked for something specific.
+    if std::env::var_os("SDM_BENCH_SAMPLES").is_none() {
+        std::env::set_var("SDM_BENCH_SAMPLES", "5");
+    }
+
+    let world = World::build(&ExperimentConfig::campus(3));
+    let flows = world.flows(PACKETS, 3u64.wrapping_add(10));
+    let pkt_flows = world.flows(PACKETS_PKTLEVEL, 3u64.wrapping_add(10));
+    eprintln!(
+        "throughput workload: {} flows, {} packets aggregate; {} flows, {} packets packet-level; {} hardware threads",
+        flows.len(),
+        flows.iter().map(|f| f.packets).sum::<u64>(),
+        pkt_flows.len(),
+        pkt_flows.iter().map(|f| f.packets).sum::<u64>(),
+        sdm_util::par::hardware_threads(),
+    );
+
+    std::env::set_var("SDM_BATCH", "1");
+    let scalar = world.run_strategy_sharded(Strategy::HotPotato, None, &flows, 1);
+    let scalar_pkt = world.run_strategy_packets(Strategy::HotPotato, None, &pkt_flows);
+    std::env::set_var("SDM_BATCH", "256");
+    let batched = world.run_strategy_sharded(Strategy::HotPotato, None, &flows, 1);
+    let batched_pkt = world.run_strategy_packets(Strategy::HotPotato, None, &pkt_flows);
+    assert_eq!(scalar.loads, batched.loads, "batching must not change results");
+    assert_eq!(scalar.delivered, batched.delivered, "batching must not change results");
+    assert_eq!(scalar_pkt.loads, batched_pkt.loads, "batching must not change results");
+    assert_eq!(
+        scalar_pkt.delivered, batched_pkt.delivered,
+        "batching must not change results"
+    );
+
+    let mut group = Runner::new("throughput");
+    for (name, batch, shards) in [
+        ("hp_10m_b1_shards1", "1", 1usize),
+        ("hp_10m_b256_shards1", "256", 1),
+        ("hp_10m_b1_shards4", "1", 4),
+        ("hp_10m_b256_shards4", "256", 4),
+    ] {
+        std::env::set_var("SDM_BATCH", batch);
+        let res = group.bench(name, || {
+            black_box(
+                world
+                    .run_strategy_sharded(Strategy::HotPotato, None, &flows, shards)
+                    .delivered,
+            )
+        });
+        eprintln!(
+            "{:<40} {:>10.0} pkt/s",
+            format!("throughput/{name}"),
+            PACKETS as f64 / (res.median_ns / 1e9)
+        );
+    }
+    for (name, batch) in [("hp_1m_pktlevel_b1", "1"), ("hp_1m_pktlevel_b256", "256")] {
+        std::env::set_var("SDM_BATCH", batch);
+        let res = group.bench(name, || {
+            black_box(
+                world
+                    .run_strategy_packets(Strategy::HotPotato, None, &pkt_flows)
+                    .delivered,
+            )
+        });
+        eprintln!(
+            "{:<40} {:>10.0} pkt/s",
+            format!("throughput/{name}"),
+            PACKETS_PKTLEVEL as f64 / (res.median_ns / 1e9)
+        );
+    }
+    std::env::remove_var("SDM_BATCH");
+    group.finish();
+}

@@ -1,30 +1,34 @@
 //! The benchmark regression gate: compares a fresh micro-benchmark result
 //! file against the committed baseline and fails (exit code 1) when any
-//! paired benchmark's median regressed beyond the threshold.
+//! paired benchmark's median regressed beyond the threshold — unless the
+//! absolute delta sits below the noise floor (`--noise-floor`, default
+//! 50 ns), where single-core timer jitter dwarfs the signal.
 //!
 //! The fresh file is produced by the bench harness itself, e.g.
 //!
 //! ```sh
-//! SDM_BENCH_OUT=results/BENCH_pr4.json cargo bench --workspace --offline
+//! SDM_BENCH_OUT=results/BENCH_pr6.json cargo bench --workspace --offline
 //! cargo run --release --offline -p sdm-bench --bin bench_gate
 //! ```
 //!
 //! which is exactly what `ci.sh` does.
 //!
-//! Besides pairwise regressions the gate checks the flow-sharding speedup
-//! (`sharding/hp_10m_shards1` vs `.../hp_10m_shards4`): on a host with at
-//! least 4 hardware threads the 4-shard run must be ≥2x faster; on
-//! smaller hosts the ratio is only reported (threads cannot beat physics
-//! on a 1-core box).
+//! Besides pairwise regressions the gate checks two speedup targets on
+//! the current file alone:
 //!
-//! Usage:
-//!   cargo run --release -p sdm-bench --bin bench_gate
-//!     [--baseline PATH]          default results/BENCH_baseline.json
-//!     [--current PATH]           default results/BENCH_pr4.json
-//!     [--max-regress PCT]        default 25 (fail on >25% median slowdown)
-//!     [--min-shard-speedup X]    default 2.0 (enforced only with >=4 cores)
-//!     [--write-baseline]         on success, copy the current file over
-//!                                the baseline (adopt the new numbers)
+//! * the flow-sharding speedup (`sharding/hp_10m_shards1` vs
+//!   `.../hp_10m_shards4`): the 4-shard run must be ≥2x faster;
+//! * the vector-path speedup (`throughput/hp_1m_pktlevel_b1` vs
+//!   `.../hp_1m_pktlevel_b256`, the packet-level regime where same-flow
+//!   runs actually form): the batched run must be ≥2x faster. The
+//!   aggregate-path pair is reported informationally, and pkt/s figures
+//!   are printed for every throughput bench.
+//!
+//! Both are enforced only on hosts with at least 4 hardware threads and
+//! reported informationally otherwise — a 1-core CI box cannot speed up
+//! by threading, and its batching gains are noisy enough to flap a gate.
+//!
+//! Run with `--help` for the flag and exit-code reference.
 
 use std::process::ExitCode;
 
@@ -32,6 +36,49 @@ use sdm_bench::arg_value;
 use sdm_util::bench_diff::{diff, gate, group_speedup, median_for, unpaired_new};
 use sdm_util::json::Json;
 use sdm_util::par::hardware_threads;
+
+/// Packet volume of each `throughput/hp_10m_*` bench; keep in sync with
+/// `PACKETS` in `benches/throughput.rs`.
+const THROUGHPUT_PACKETS: f64 = 10_000_000.0;
+
+/// Packet volume of each `throughput/hp_1m_pktlevel_*` bench; keep in
+/// sync with `PACKETS_PKTLEVEL` in `benches/throughput.rs`.
+const THROUGHPUT_PACKETS_PKTLEVEL: f64 = 1_000_000.0;
+
+const HELP: &str = "\
+bench_gate — compare fresh micro-benchmark results against the committed baseline
+
+USAGE:
+  cargo run --release -p sdm-bench --bin bench_gate [FLAGS]
+
+FLAGS:
+  --baseline PATH         baseline JSON file
+                          (default: results/BENCH_baseline.json)
+  --current PATH          fresh JSON file produced via SDM_BENCH_OUT
+                          (default: results/BENCH_pr6.json)
+  --max-regress PCT       fail when a paired benchmark's median regressed
+                          by more than PCT percent (default: 25)
+  --noise-floor NS        ignore paired regressions whose absolute median
+                          delta is at most NS nanoseconds — sub-jitter
+                          changes on tiny microbenches flap rather than
+                          measure (default: 50)
+  --min-shard-speedup X   required sharding/hp_10m_shards1-over-shards4
+                          median ratio; enforced only on hosts with >= 4
+                          hardware threads (default: 2.0)
+  --min-batch-speedup X   required throughput/hp_1m_pktlevel_b1-over-
+                          hp_1m_pktlevel_b256 median ratio (packet-level
+                          regime); enforced only on hosts with >= 4
+                          hardware threads (default: 2.0)
+  --write-baseline        on success, copy the current file over the
+                          baseline (adopt the new numbers)
+  --help                  print this reference and exit
+
+EXIT CODES:
+  0  gate passed (and baseline updated, if --write-baseline)
+  1  a benchmark regressed beyond --max-regress, a speedup target was
+     missed on a >= 4-core host, an input file was missing/unparsable,
+     no benchmarks paired between the files, or the baseline could not
+     be written";
 
 fn load(path: &str) -> Result<Json, String> {
     let text =
@@ -71,18 +118,95 @@ fn shard_speedup_check(current: &Json, min_speedup: f64) -> bool {
     true
 }
 
+/// Checks the vector-path (batched) throughput speedup and prints pkt/s;
+/// returns `false` when the check is enforced and fails.
+///
+/// Both regimes are reported; the *packet-level* pair carries the gate,
+/// because aggregate specs collapse every flow into one event (run
+/// length 1) and structurally cannot show the per-run amortisation the
+/// vector path exists for.
+fn batch_speedup_check(current: &Json, min_speedup: f64) -> bool {
+    let (Some(p1), Some(p256)) = (
+        median_for(current, "throughput", "hp_1m_pktlevel_b1"),
+        median_for(current, "throughput", "hp_1m_pktlevel_b256"),
+    ) else {
+        println!("# batching speedup: benches not present in current run, skipped");
+        return true;
+    };
+    for name in [
+        "hp_10m_b1_shards1",
+        "hp_10m_b256_shards1",
+        "hp_10m_b1_shards4",
+        "hp_10m_b256_shards4",
+    ] {
+        if let Some(ns) = median_for(current, "throughput", name) {
+            println!(
+                "# throughput/{name:<24} {:>12.0} pkt/s",
+                THROUGHPUT_PACKETS / (ns / 1e9)
+            );
+        }
+    }
+    for (name, ns) in [("hp_1m_pktlevel_b1", p1), ("hp_1m_pktlevel_b256", p256)] {
+        println!(
+            "# throughput/{name:<24} {:>12.0} pkt/s",
+            THROUGHPUT_PACKETS_PKTLEVEL / (ns / 1e9)
+        );
+    }
+    if let (Some(a1), Some(a256)) = (
+        median_for(current, "throughput", "hp_10m_b1_shards1"),
+        median_for(current, "throughput", "hp_10m_b256_shards1"),
+    ) {
+        println!(
+            "# batching speedup (aggregate): {:.2}x at batch 256 — informational \
+(aggregate specs have run length 1)",
+            a1 / a256
+        );
+    }
+    let speedup = p1 / p256;
+    let cores = hardware_threads();
+    if cores >= 4 {
+        println!(
+            "# batching speedup (packet-level): {speedup:.2}x at batch 256 \
+({cores} cores, required >= {min_speedup:.2}x)"
+        );
+        if speedup < min_speedup {
+            println!(
+                "bench gate FAILED — batched (256) packet-level run is only {speedup:.2}x \
+faster than scalar (required {min_speedup:.2}x on a {cores}-core host)"
+            );
+            return false;
+        }
+    } else {
+        println!(
+            "# batching speedup (packet-level): {speedup:.2}x at batch 256 — informational only \
+(host has {cores} core(s); the >= {min_speedup:.2}x gate needs >= 4)"
+        );
+    }
+    true
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
     let baseline_path = arg_value(&args, "--baseline")
         .unwrap_or_else(|| "results/BENCH_baseline.json".to_string());
     let current_path = arg_value(&args, "--current")
-        .unwrap_or_else(|| "results/BENCH_pr4.json".to_string());
+        .unwrap_or_else(|| "results/BENCH_pr6.json".to_string());
     let max_regress_pct: f64 = arg_value(&args, "--max-regress")
         .and_then(|s| s.parse().ok())
         .unwrap_or(25.0);
     let min_shard_speedup: f64 = arg_value(&args, "--min-shard-speedup")
         .and_then(|s| s.parse().ok())
         .unwrap_or(2.0);
+    let min_batch_speedup: f64 = arg_value(&args, "--min-batch-speedup")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+    let noise_floor_ns: f64 = arg_value(&args, "--noise-floor")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50.0);
     let write_baseline = args.iter().any(|a| a == "--write-baseline");
     let fail_ratio = 1.0 + max_regress_pct / 100.0;
 
@@ -123,9 +247,14 @@ fn main() -> ExitCode {
     }
 
     let shards_ok = shard_speedup_check(&current, min_shard_speedup);
+    let batch_ok = batch_speedup_check(&current, min_batch_speedup);
 
-    let failures = gate(&deltas, fail_ratio);
-    if failures.is_empty() && shards_ok {
+    let mut failures = gate(&deltas, fail_ratio);
+    // Sub-noise-floor absolute deltas cannot be measured reliably on this
+    // hardware: a 25% regression on a 70 ns microbench is ~18 ns — inside
+    // timer jitter — and would flap the gate.
+    failures.retain(|d| d.new_ns - d.baseline_ns > noise_floor_ns);
+    if failures.is_empty() && shards_ok && batch_ok {
         println!("\nbench gate PASSED ({} benchmarks compared)", deltas.len());
         if write_baseline {
             match std::fs::copy(&current_path, &baseline_path) {

@@ -150,6 +150,36 @@ impl World {
         }
     }
 
+    /// [`World::run_strategy`] in packet-level mode: every flow is
+    /// injected as individual back-to-back packets (payload 512, gap 0)
+    /// instead of one weighted aggregate. Much slower — one event per
+    /// packet per hop — but it exercises the regime the vector execution
+    /// path is built for: consecutive same-flow packets forming runs at
+    /// each device. Used by the `throughput` bench group.
+    pub fn run_strategy_packets(
+        &self,
+        strategy: Strategy,
+        weights: Option<sdm_core::SteeringWeights>,
+        flows: &[Flow],
+    ) -> StrategyRun {
+        let mut enf = self.controller.enforcement(
+            strategy,
+            weights,
+            EnforcementOptions::default(),
+        );
+        for f in flows {
+            enf.inject_flow_packets(f.five_tuple, f.packets, 512, sdm_netsim::SimTime(0), 0);
+        }
+        enf.run();
+        StrategyRun {
+            loads: enf.middlebox_loads(),
+            report: enf.load_report(&self.deployment),
+            measurements: enf.measurements(),
+            delivered: enf.sim().stats().delivered + enf.sim().stats().delivered_external,
+            link_hops: enf.sim().stats().link_hops,
+        }
+    }
+
     /// [`World::run_strategy`] over the flow-sharded parallel runtime:
     /// identical results (the merge is deterministic — see
     /// [`sdm_core::Controller::run_sharded`]), wall-clock divided across

@@ -6,12 +6,24 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use sdm_netsim::{Device, DeviceCtx, Packet};
-use sdm_policy::{ActionList, LabelKey, LocalClassifier, NetworkFunction, PolicyId};
+use sdm_netsim::{Device, DeviceCtx, FiveTuple, Label, Packet, PacketId, SimTime};
+use sdm_policy::{ActionList, LabelEntry, LabelKey, LocalClassifier, NetworkFunction, PolicyId};
 
 use crate::deployment::MiddleboxId;
 use crate::runtime::{MboxState, RuntimeConfig, Shared};
 use crate::steer::SteerPoint;
+
+/// The cached outcome of resolving one tunneled flow's policy: reused by
+/// consecutive same-flow packets in a batch so the flow-table probe, the
+/// action-list clone and the label-table install happen once per run.
+/// The packet's label is part of the key because label presence decides
+/// whether a label-table entry is installed.
+struct TunnelRun {
+    ft: FiveTuple,
+    label: Option<Label>,
+    policy_id: PolicyId,
+    actions: ActionList,
+}
 
 /// One software-defined middlebox device.
 pub struct MiddleboxDevice {
@@ -49,50 +61,59 @@ impl MiddleboxDevice {
             .position(|f| self.functions.contains(f))
     }
 
-    /// Handles a tunneled (IP-over-IP) packet addressed to this box.
-    fn handle_tunneled(&mut self, ctx: &mut DeviceCtx<'_>, pkt: sdm_netsim::PacketId) {
-        let proxy_addr = ctx.pkt(pkt).current_src(); // kept as outer src end-to-end (§III.E)
-        ctx.pkt_mut(pkt).decapsulate();
-        let (ft, weight) = {
-            let p = ctx.pkt(pkt);
-            (p.five_tuple(), p.weight)
-        };
-        let now = ctx.now();
-
-        let mut state = self.state.lock();
-        state.counters.tunneled_in += weight;
-
-        // Resolve the governing policy: flow cache, then policy table.
+    /// Resolves the governing policy for a (decapsulated) tunneled packet:
+    /// flow cache first, then the policy table (caching the match).
+    /// `None` means no policy matched at all.
+    fn resolve_tunneled(
+        &self,
+        state: &mut MboxState,
+        ft: &FiveTuple,
+        now: SimTime,
+        weight: u64,
+    ) -> Option<(PolicyId, ActionList)> {
         let cached: Option<(PolicyId, ActionList)> = state
             .flows
-            .lookup(&ft, now, weight)
+            .lookup(ft, now, weight)
             .and_then(|e| e.action.clone());
-        let (policy_id, actions) = match cached {
-            Some(pa) => pa,
-            None => match self.policies.first_match(&ft) {
+        match cached {
+            Some(pa) => Some(pa),
+            None => match self.policies.first_match(ft) {
                 Some((id, policy)) => {
                     let actions = policy.actions.clone();
-                    state
-                        .flows
-                        .insert_positive(ft, id, actions.clone(), now);
-                    (id, actions)
+                    state.flows.insert_positive(*ft, id, actions.clone(), now);
+                    Some((id, actions))
                 }
-                None => {
-                    // A tunneled packet should always match (the sender
-                    // matched it); tolerate and forward untouched.
-                    state.counters.unmatched += weight;
-                    drop(state);
-                    ctx.forward(pkt);
-                    return;
-                }
+                None => None,
             },
-        };
+        }
+    }
 
+    /// Applies this box's function(s) to a resolved tunneled packet and
+    /// steers it onwards (next-hop tunnel or last-hop §III.E handling).
+    ///
+    /// `install_labels = false` is the vector-path run-mate mode: the
+    /// run's first packet already installed an identical label-table
+    /// entry at this instant, so re-inserting is skipped. Everything
+    /// observable per packet (counters, control emission, rewrites) still
+    /// happens here.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_tunneled(
+        &self,
+        ctx: &mut DeviceCtx<'_>,
+        state: &mut MboxState,
+        pkt: PacketId,
+        proxy_addr: sdm_netsim::Ipv4Addr,
+        ft: &FiveTuple,
+        weight: u64,
+        policy_id: PolicyId,
+        actions: &ActionList,
+        install_labels: bool,
+    ) {
+        let now = ctx.now();
         // Apply our function, plus any consecutive functions we also
         // implement locally.
-        let Some(pos) = self.my_position(&actions) else {
+        let Some(pos) = self.my_position(actions) else {
             state.counters.unmatched += weight;
-            drop(state);
             ctx.forward(pkt);
             return;
         };
@@ -116,7 +137,7 @@ impl MiddleboxDevice {
                     policy_id,
                     next_fn,
                     (end + 1) as u16,
-                    &ft,
+                    ft,
                     commodity,
                 ) else {
                     state.counters.unenforceable += weight;
@@ -125,22 +146,23 @@ impl MiddleboxDevice {
                 };
                 let next_addr = self.config.mbox_addr(next);
                 // Install the label-table entry for later label switching.
-                if let Some(l) = ctx.pkt(pkt).label {
-                    state.labels.insert(
-                        LabelKey {
-                            src: ctx.pkt(pkt).inner.src,
-                            label: l,
-                        },
-                        actions.clone(),
-                        policy_id,
-                        pos,
-                        Some(next_addr),
-                        None,
-                        now,
-                    );
+                if install_labels {
+                    if let Some(l) = ctx.pkt(pkt).label {
+                        state.labels.insert(
+                            LabelKey {
+                                src: ctx.pkt(pkt).inner.src,
+                                label: l,
+                            },
+                            actions.clone(),
+                            policy_id,
+                            pos,
+                            Some(next_addr),
+                            None,
+                            now,
+                        );
+                    }
                 }
                 ctx.pkt_mut(pkt).encapsulate(proxy_addr, next_addr);
-                drop(state);
                 ctx.forward(pkt);
             }
             None => {
@@ -148,42 +170,120 @@ impl MiddleboxDevice {
                 // destination, notify the proxy, forward the original
                 // packet towards its destination.
                 if let Some(l) = ctx.pkt(pkt).label {
-                    state.labels.insert(
-                        LabelKey {
-                            src: ctx.pkt(pkt).inner.src,
-                            label: l,
-                        },
-                        actions.clone(),
-                        policy_id,
-                        pos,
-                        None,
-                        Some(ctx.pkt(pkt).inner.dst),
-                        now,
-                    );
+                    if install_labels {
+                        state.labels.insert(
+                            LabelKey {
+                                src: ctx.pkt(pkt).inner.src,
+                                label: l,
+                            },
+                            actions.clone(),
+                            policy_id,
+                            pos,
+                            None,
+                            Some(ctx.pkt(pkt).inner.dst),
+                            now,
+                        );
+                    }
                     if self.config.label_switching() {
-                        let control = Packet::control(ctx.addr(), proxy_addr, ft);
+                        let control = Packet::control(ctx.addr(), proxy_addr, *ft);
                         let control = ctx.alloc(control);
-                        drop(state);
                         ctx.forward(control);
                         ctx.forward(pkt);
                         return;
                     }
                 }
-                drop(state);
                 ctx.forward(pkt);
             }
         }
     }
 
+    /// Handles a tunneled (IP-over-IP) packet addressed to this box.
+    fn handle_tunneled(&self, ctx: &mut DeviceCtx<'_>, state: &mut MboxState, pkt: PacketId) {
+        let proxy_addr = ctx.pkt(pkt).current_src(); // kept as outer src end-to-end (§III.E)
+        ctx.pkt_mut(pkt).decapsulate();
+        let (ft, weight) = {
+            let p = ctx.pkt(pkt);
+            (p.five_tuple(), p.weight)
+        };
+        state.counters.tunneled_in += weight;
+        let Some((policy_id, actions)) = self.resolve_tunneled(state, &ft, ctx.now(), weight)
+        else {
+            // A tunneled packet should always match (the sender matched
+            // it); tolerate and forward untouched.
+            state.counters.unmatched += weight;
+            ctx.forward(pkt);
+            return;
+        };
+        self.apply_tunneled(
+            ctx, state, pkt, proxy_addr, &ft, weight, policy_id, &actions, true,
+        );
+    }
+
+    /// Vector-path tunneled handling: consecutive packets of the same
+    /// flow (and label) reuse the first packet's resolved policy — the
+    /// flow-table probe becomes a [`sdm_policy::FlowTable::record_run_hit`]
+    /// and the label-table install is skipped (it would overwrite an
+    /// identical entry).
+    fn tunneled_batched(
+        &self,
+        ctx: &mut DeviceCtx<'_>,
+        state: &mut MboxState,
+        pkt: PacketId,
+        run: &mut Option<TunnelRun>,
+    ) {
+        let proxy_addr = ctx.pkt(pkt).current_src();
+        ctx.pkt_mut(pkt).decapsulate();
+        let (ft, weight, label) = {
+            let p = ctx.pkt(pkt);
+            (p.five_tuple(), p.weight, p.label)
+        };
+        state.counters.tunneled_in += weight;
+        if let Some(r) = run {
+            if r.ft == ft && r.label == label {
+                // Run-mate: a scalar lookup here would be a guaranteed
+                // hit returning exactly the cached decision.
+                state.flows.record_run_hit(weight);
+                self.apply_tunneled(
+                    ctx,
+                    state,
+                    pkt,
+                    proxy_addr,
+                    &ft,
+                    weight,
+                    r.policy_id,
+                    &r.actions,
+                    false,
+                );
+                return;
+            }
+        }
+        *run = None;
+        let Some((policy_id, actions)) = self.resolve_tunneled(state, &ft, ctx.now(), weight)
+        else {
+            // No flow-cache entry was installed, so the next same-flow
+            // packet must re-probe (and count a miss) exactly like the
+            // scalar path: leave the run empty.
+            state.counters.unmatched += weight;
+            ctx.forward(pkt);
+            return;
+        };
+        self.apply_tunneled(
+            ctx, state, pkt, proxy_addr, &ft, weight, policy_id, &actions, true,
+        );
+        *run = Some(TunnelRun {
+            ft,
+            label,
+            policy_id,
+            actions,
+        });
+    }
+
     /// Handles a source-routed packet: apply the function, pop the next
     /// segment, forward. No per-flow state is consulted or installed.
-    fn handle_source_routed(&mut self, ctx: &mut DeviceCtx<'_>, pkt: sdm_netsim::PacketId) {
+    fn handle_source_routed(&self, ctx: &mut DeviceCtx<'_>, state: &mut MboxState, pkt: PacketId) {
         let weight = ctx.pkt(pkt).weight;
-        {
-            let mut state = self.state.lock();
-            state.counters.source_routed_in += weight;
-            state.counters.applications += weight;
-        }
+        state.counters.source_routed_in += weight;
+        state.counters.applications += weight;
         if ctx.pkt_mut(pkt).advance_source_route() {
             ctx.forward(pkt);
         } else {
@@ -194,29 +294,16 @@ impl MiddleboxDevice {
         }
     }
 
-    /// Handles a label-switched packet (not encapsulated, addressed to us).
-    fn handle_labeled(&mut self, ctx: &mut DeviceCtx<'_>, pkt: sdm_netsim::PacketId) {
-        let weight = ctx.pkt(pkt).weight;
-        let mut state = self.state.lock();
-        state.counters.label_switched_in += weight;
-        let Some(label) = ctx.pkt(pkt).label else {
-            state.counters.label_misses += weight;
-            ctx.drop_pkt(pkt); // addressed to us without label or tunnel
-            return;
-        };
-        let key = LabelKey {
-            src: ctx.pkt(pkt).inner.src,
-            label,
-        };
-        let now = ctx.now();
-        let entry = match state.labels.lookup(&key, now) {
-            Some(e) => e.clone(),
-            None => {
-                state.counters.label_misses += weight;
-                ctx.drop_pkt(pkt);
-                return;
-            }
-        };
+    /// Applies a resolved label-table entry to one labeled packet:
+    /// function application counter, destination rewrite, forward.
+    fn apply_labeled(
+        &self,
+        ctx: &mut DeviceCtx<'_>,
+        state: &mut MboxState,
+        pkt: PacketId,
+        weight: u64,
+        entry: &LabelEntry,
+    ) {
         state.counters.applications += weight;
         match (entry.next_hop, entry.final_dst) {
             (Some(next), _) => {
@@ -231,27 +318,131 @@ impl MiddleboxDevice {
                 return;
             }
         }
-        drop(state);
         ctx.forward(pkt);
+    }
+
+    /// Handles a label-switched packet (not encapsulated, addressed to us).
+    fn handle_labeled(&self, ctx: &mut DeviceCtx<'_>, state: &mut MboxState, pkt: PacketId) {
+        let weight = ctx.pkt(pkt).weight;
+        state.counters.label_switched_in += weight;
+        let Some(label) = ctx.pkt(pkt).label else {
+            state.counters.label_misses += weight;
+            ctx.drop_pkt(pkt); // addressed to us without label or tunnel
+            return;
+        };
+        let key = LabelKey {
+            src: ctx.pkt(pkt).inner.src,
+            label,
+        };
+        let entry = match state.labels.lookup(&key, ctx.now()) {
+            Some(e) => e.clone(),
+            None => {
+                state.counters.label_misses += weight;
+                ctx.drop_pkt(pkt);
+                return;
+            }
+        };
+        self.apply_labeled(ctx, state, pkt, weight, &entry);
+    }
+
+    /// Vector-path labeled handling: consecutive packets with the same
+    /// `⟨src, label⟩` key reuse the first packet's entry clone. A scalar
+    /// lookup by a run-mate would only re-refresh `last_seen` to the same
+    /// instant, so skipping it is unobservable.
+    fn labeled_batched(
+        &self,
+        ctx: &mut DeviceCtx<'_>,
+        state: &mut MboxState,
+        pkt: PacketId,
+        run: &mut Option<(LabelKey, Option<LabelEntry>)>,
+    ) {
+        let weight = ctx.pkt(pkt).weight;
+        state.counters.label_switched_in += weight;
+        let Some(label) = ctx.pkt(pkt).label else {
+            // No table access: the current run stays valid.
+            state.counters.label_misses += weight;
+            ctx.drop_pkt(pkt);
+            return;
+        };
+        let key = LabelKey {
+            src: ctx.pkt(pkt).inner.src,
+            label,
+        };
+        match run {
+            Some((k, cached)) if *k == key => match cached {
+                Some(entry) => {
+                    let entry = entry.clone();
+                    self.apply_labeled(ctx, state, pkt, weight, &entry);
+                }
+                None => {
+                    state.counters.label_misses += weight;
+                    ctx.drop_pkt(pkt);
+                }
+            },
+            _ => {
+                let entry = state.labels.lookup(&key, ctx.now()).cloned();
+                *run = Some((key, entry.clone()));
+                match entry {
+                    Some(entry) => self.apply_labeled(ctx, state, pkt, weight, &entry),
+                    None => {
+                        state.counters.label_misses += weight;
+                        ctx.drop_pkt(pkt);
+                    }
+                }
+            }
+        }
     }
 }
 
 impl Device for MiddleboxDevice {
     fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: sdm_netsim::PacketId) {
-        {
-            let mut state = self.state.lock();
+        let mut state = self.state.lock();
+        let state = &mut *state;
+        if state.failed {
+            state.counters.dropped_failed += ctx.pkt(pkt).weight;
+            ctx.drop_pkt(pkt);
+            return;
+        }
+        if ctx.pkt(pkt).is_encapsulated() {
+            self.handle_tunneled(ctx, state, pkt);
+        } else if ctx.pkt(pkt).has_source_route() {
+            self.handle_source_routed(ctx, state, pkt);
+        } else {
+            self.handle_labeled(ctx, state, pkt);
+        }
+    }
+
+    /// Vector path: one lock acquisition for the whole batch, one
+    /// flow/label-table probe per consecutive same-key run.
+    ///
+    /// Bit-identical to per-packet [`MiddleboxDevice::receive`]: run-mates
+    /// reuse a probe result the scalar path is guaranteed to reproduce
+    /// (see `tunneled_batched` / `labeled_batched`), and a packet of a
+    /// different kind conservatively ends the current run — tunneled
+    /// packets are the only writers of the label table, so a label run
+    /// never survives one.
+    fn receive_batch(&mut self, ctx: &mut DeviceCtx<'_>, pkts: &[PacketId]) {
+        let mut state = self.state.lock();
+        let state = &mut *state;
+        let mut tunnel_run: Option<TunnelRun> = None;
+        let mut label_run: Option<(LabelKey, Option<LabelEntry>)> = None;
+        for &pkt in pkts {
             if state.failed {
                 state.counters.dropped_failed += ctx.pkt(pkt).weight;
                 ctx.drop_pkt(pkt);
-                return;
+                continue;
             }
-        }
-        if ctx.pkt(pkt).is_encapsulated() {
-            self.handle_tunneled(ctx, pkt);
-        } else if ctx.pkt(pkt).has_source_route() {
-            self.handle_source_routed(ctx, pkt);
-        } else {
-            self.handle_labeled(ctx, pkt);
+            if ctx.pkt(pkt).is_encapsulated() {
+                label_run = None;
+                self.tunneled_batched(ctx, state, pkt, &mut tunnel_run);
+            } else if ctx.pkt(pkt).has_source_route() {
+                tunnel_run = None;
+                label_run = None;
+                self.handle_source_routed(ctx, state, pkt);
+            } else {
+                tunnel_run = None;
+                self.labeled_batched(ctx, state, pkt, &mut label_run);
+            }
         }
     }
 }

@@ -8,12 +8,18 @@ use std::sync::Arc;
 
 use sdm_util::sync::Mutex;
 
-use sdm_netsim::{Device, DeviceCtx, Packet, PacketKind, Prefix, StubId};
-use sdm_policy::LocalClassifier;
+use sdm_netsim::{Device, DeviceCtx, FiveTuple, Label, Packet, PacketId, PacketKind, Prefix, StubId};
+use sdm_policy::{ActionList, LocalClassifier, PolicyId};
 
 use crate::measure::{DestKey, TrafficMatrix};
 use crate::runtime::{ProxyState, RuntimeConfig, Shared};
 use crate::steer::SteerPoint;
+
+/// The steering decision for one outbound flow: matched policy + actions
+/// (`None` = no policy), the assigned label, and whether the flow has been
+/// flagged label-switched. Exactly the tuple the flow-cache lookup yields,
+/// so one probe's result can be reused across a same-flow run in a batch.
+type FlowDecision = (Option<(PolicyId, ActionList)>, Option<Label>, bool);
 
 /// The policy-proxy device for one stub network.
 pub struct ProxyDevice {
@@ -52,58 +58,37 @@ impl ProxyDevice {
             None => DestKey::External,
         }
     }
-}
 
-impl Device for ProxyDevice {
-    fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: sdm_netsim::PacketId) {
-        let mut state = self.state.lock();
-
-        // 1. Label-ready control packet from the last middlebox (§III.E):
-        //    flag the flow for label switching and consume the packet.
-        if let PacketKind::LabelReady(flow) = ctx.pkt(pkt).kind {
-            state.counters.control_received += ctx.pkt(pkt).weight;
-            state.flows.flag_label_switched(&flow);
-            ctx.drop_pkt(pkt);
-            return;
-        }
-
-        // 2. Inbound traffic addressed into our stub: final delivery.
-        if self.subnet.contains(ctx.pkt(pkt).current_dst()) {
-            state.counters.inbound += ctx.pkt(pkt).weight;
-            while ctx.pkt_mut(pkt).decapsulate().is_some() {}
-            ctx.deliver_local(pkt);
-            return;
-        }
-
-        // 3. Outbound traffic from our stub.
-        let (ft, weight) = {
-            let p = ctx.pkt(pkt);
-            (p.five_tuple(), p.weight)
-        };
-        state.counters.outbound += weight;
-        let now = ctx.now();
-
-        // Flow-cache fast path (§III.D).
+    /// Resolves the steering decision for an outbound packet: flow-cache
+    /// fast path (§III.D), falling back to the multi-field policy lookup
+    /// and caching the result (with optional label allocation, §III.E).
+    fn probe_flow(
+        &self,
+        state: &mut ProxyState,
+        ft: &FiveTuple,
+        now: sdm_netsim::SimTime,
+        weight: u64,
+    ) -> FlowDecision {
         let cached = state
             .flows
-            .lookup(&ft, now, weight)
+            .lookup(ft, now, weight)
             .map(|e| (e.action.clone(), e.label, e.label_switched));
-        let (action, label, label_switched) = match cached {
+        match cached {
             Some(c) => c,
             None => {
                 // Slow path: multi-field policy lookup, then cache.
-                match self.policies.first_match(&ft) {
+                match self.policies.first_match(ft) {
                     None => {
-                        state.flows.insert_negative(ft, now);
+                        state.flows.insert_negative(*ft, now);
                         (None, None, false)
                     }
                     Some((id, policy)) => {
                         let actions = policy.actions.clone();
-                        state.flows.insert_positive(ft, id, actions.clone(), now);
+                        state.flows.insert_positive(*ft, id, actions.clone(), now);
                         let label = if self.config.label_switching() && !actions.is_permit() {
                             let l = state.labels.allocate();
                             if let Some(l) = l {
-                                state.flows.set_label(&ft, l);
+                                state.flows.set_label(ft, l);
                             }
                             l
                         } else {
@@ -113,15 +98,29 @@ impl Device for ProxyDevice {
                     }
                 }
             }
-        };
+        }
+    }
 
+    /// Applies a resolved [`FlowDecision`] to one outbound packet: measure,
+    /// then permit / source-route / label-switch / encapsulate exactly as
+    /// the scalar path does. The proxy state lock is already held.
+    fn steer_outbound(
+        &self,
+        ctx: &mut DeviceCtx<'_>,
+        state: &mut ProxyState,
+        pkt: PacketId,
+        ft: &FiveTuple,
+        weight: u64,
+        decision: &FlowDecision,
+    ) {
+        let (action, label, label_switched) = decision;
         let Some((policy_id, actions)) = action else {
             // No policy: forward unchanged.
             state.counters.permitted += weight;
-            drop(state);
             ctx.forward(pkt);
             return;
         };
+        let policy_id = *policy_id;
 
         // Measure T_{s,d,p} for the controller (§III.C).
         self.measurements
@@ -130,19 +129,16 @@ impl Device for ProxyDevice {
 
         if actions.is_permit() {
             state.counters.permitted += weight;
-            drop(state);
             ctx.forward(pkt);
             return;
         }
 
         // Strict source routing: compute the whole chain here and embed it.
         if self.config.encoding == crate::steer::SteeringEncoding::SourceRouting {
-            let Some(chain) = self.config.resolve_chain(
-                SteerPoint::Proxy(self.stub),
-                policy_id,
-                &actions,
-                &ft,
-            ) else {
+            let Some(chain) =
+                self.config
+                    .resolve_chain(SteerPoint::Proxy(self.stub), policy_id, actions, ft)
+            else {
                 state.counters.unenforceable += weight;
                 ctx.drop_pkt(pkt);
                 return;
@@ -153,7 +149,6 @@ impl Device for ProxyDevice {
             segments.push(final_dst);
             ctx.pkt_mut(pkt).set_source_route(segments);
             state.counters.steered += weight;
-            drop(state);
             ctx.forward(pkt);
             return;
         }
@@ -166,7 +161,7 @@ impl Device for ProxyDevice {
             policy_id,
             first_fn,
             0,
-            &ft,
+            ft,
             commodity,
         ) else {
             state.counters.unenforceable += weight;
@@ -175,15 +170,14 @@ impl Device for ProxyDevice {
         };
         let next_addr = self.config.mbox_addr(next);
 
-        if label_switched && self.config.label_switching() {
+        if *label_switched && self.config.label_switching() {
             // §III.E fast path: label + destination rewrite, no tunnel.
             if let Some(l) = label {
                 let p = ctx.pkt_mut(pkt);
-                p.label = Some(l);
+                p.label = Some(*l);
                 p.inner.dst = next_addr;
                 state.counters.label_switched += weight;
                 state.counters.steered += weight;
-                drop(state);
                 ctx.forward(pkt);
                 return;
             }
@@ -192,11 +186,108 @@ impl Device for ProxyDevice {
         // §III.B: IP-over-IP with the proxy as outer source.
         let entry = ctx.addr();
         let p = ctx.pkt_mut(pkt);
-        p.label = label;
+        p.label = *label;
         p.encapsulate(entry, next_addr);
         state.counters.steered += weight;
-        drop(state);
         ctx.forward(pkt);
+    }
+
+    /// Handles a label-ready control packet (§III.E). Returns `true` if the
+    /// packet was consumed.
+    fn handle_control(
+        &self,
+        ctx: &mut DeviceCtx<'_>,
+        state: &mut ProxyState,
+        pkt: PacketId,
+    ) -> bool {
+        if let PacketKind::LabelReady(flow) = ctx.pkt(pkt).kind {
+            state.counters.control_received += ctx.pkt(pkt).weight;
+            state.flows.flag_label_switched(&flow);
+            ctx.drop_pkt(pkt);
+            return true;
+        }
+        false
+    }
+
+    /// Delivers an inbound packet into the stub. Returns `true` if the
+    /// packet was addressed to us and consumed.
+    fn handle_inbound(
+        &self,
+        ctx: &mut DeviceCtx<'_>,
+        state: &mut ProxyState,
+        pkt: PacketId,
+    ) -> bool {
+        if self.subnet.contains(ctx.pkt(pkt).current_dst()) {
+            state.counters.inbound += ctx.pkt(pkt).weight;
+            while ctx.pkt_mut(pkt).decapsulate().is_some() {}
+            ctx.deliver_local(pkt);
+            return true;
+        }
+        false
+    }
+}
+
+impl Device for ProxyDevice {
+    fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: sdm_netsim::PacketId) {
+        let mut state = self.state.lock();
+
+        // 1. Label-ready control packet from the last middlebox (§III.E):
+        //    flag the flow for label switching and consume the packet.
+        if self.handle_control(ctx, &mut state, pkt) {
+            return;
+        }
+
+        // 2. Inbound traffic addressed into our stub: final delivery.
+        if self.handle_inbound(ctx, &mut state, pkt) {
+            return;
+        }
+
+        // 3. Outbound traffic from our stub.
+        let (ft, weight) = {
+            let p = ctx.pkt(pkt);
+            (p.five_tuple(), p.weight)
+        };
+        state.counters.outbound += weight;
+        let decision = self.probe_flow(&mut state, &ft, ctx.now(), weight);
+        self.steer_outbound(ctx, &mut state, pkt, &ft, weight, &decision);
+    }
+
+    /// Vector path: one lock acquisition for the whole batch, and one
+    /// flow-table probe per consecutive same-flow run — run-mates reuse the
+    /// first packet's decision tuple (recording their cache hits via
+    /// [`sdm_policy::FlowTable::record_run_hit`]) instead of re-probing.
+    ///
+    /// Bit-identical to per-packet [`ProxyDevice::receive`]: a scalar
+    /// lookup by a run-mate is a guaranteed hit returning exactly the
+    /// cached decision, and control/inbound packets conservatively end the
+    /// current run because they can mutate flow state (e.g. flag a flow
+    /// label-switched mid-tick).
+    fn receive_batch(&mut self, ctx: &mut DeviceCtx<'_>, pkts: &[PacketId]) {
+        let mut state = self.state.lock();
+        let mut run: Option<(FiveTuple, FlowDecision)> = None;
+        for &pkt in pkts {
+            if self.handle_control(ctx, &mut state, pkt) || self.handle_inbound(ctx, &mut state, pkt)
+            {
+                // Control packets mutate flow state; end the run so the
+                // next data packet re-probes and observes the update.
+                run = None;
+                continue;
+            }
+            let (ft, weight) = {
+                let p = ctx.pkt(pkt);
+                (p.five_tuple(), p.weight)
+            };
+            state.counters.outbound += weight;
+            match &run {
+                Some((key, _)) if *key == ft => state.flows.record_run_hit(weight),
+                _ => {
+                    let d = self.probe_flow(&mut state, &ft, ctx.now(), weight);
+                    run = Some((ft, d));
+                }
+            }
+            let Some((_, decision)) = &run else { continue };
+            self.steer_outbound(ctx, &mut state, pkt, &ft, weight, decision);
+        }
     }
 }
 

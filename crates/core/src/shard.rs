@@ -15,6 +15,18 @@
 //! contend for the same server, so sharding would change the answer. Such
 //! experiments must call [`resolve_shards`] with `shard_safe = false`,
 //! which forces a single shard.
+//!
+//! # Interaction with vector execution (`SDM_BATCH`)
+//!
+//! Sharding and batching compose orthogonally. Each shard owns a private
+//! simulator that reads `SDM_BATCH` at construction, so every worker runs
+//! the same vector hot loop (`sdm-netsim`'s batched event drain; see the
+//! engine's *Vector execution* docs). Batching is bit-identical to the
+//! scalar path *within* one simulator, sharding is bit-identical across
+//! shard counts, and the merge below folds shard results in fixed shard-
+//! index order — therefore any `(SDM_SHARDS, SDM_BATCH)` combination
+//! produces the same bytes. `ci.sh` pins both axes with `cmp`-based
+//! smoke checks on the Table III output.
 
 use sdm_netsim::{FiveTuple, SimStats};
 use sdm_policy::FlowTableStats;

@@ -12,6 +12,14 @@
 //! The arena also counts total allocations ([`PacketArena::allocations`]):
 //! the engine's no-deep-clone guarantee is tested by asserting exactly one
 //! allocation per injected packet on the plain forwarding path.
+//!
+//! Handle invariant: a [`PacketId`] is valid from allocation until the
+//! packet is delivered or dropped, at which point the slot may be reused
+//! and the id must not be dereferenced again. Ids are meaningful only
+//! within their own simulator — slot numbering depends on allocation
+//! order, which is why nothing observable (stats, traces, table state)
+//! may key off raw id values: the vector hot path renumbers slots
+//! relative to the scalar path without changing any output.
 
 use crate::packet::Packet;
 

@@ -18,6 +18,20 @@
 //! per-node arrays. Fragmentation keeps the original packet parked in the
 //! arena and sends lightweight fragments that reference it, so the
 //! forwarding path never deep-clones a packet.
+//!
+//! # Vector execution
+//!
+//! By default [`Simulator::run_until_idle`] executes VPP-style: it drains
+//! up to `SDM_BATCH` (default 256) same-tick events from the calendar
+//! queue into a reusable scratch vector and hands consecutive deliveries
+//! to the same device to [`Device::receive_batch`] as one run, letting the
+//! device amortize its per-packet costs (one state-lock acquisition per
+//! run, one flow/label-table probe per consecutive same-flow stretch)
+//! while the arena accesses stay sequential and cache-hot. The batch
+//! drain never crosses a tick boundary, so the global event order — time,
+//! then FIFO within a tick — is exactly the scalar order and the output
+//! is bit-identical to `SDM_BATCH=1` (pinned by the scalar-vs-batched
+//! equivalence property test). See DESIGN.md, "Vector execution model".
 
 use std::fmt;
 
@@ -122,6 +136,23 @@ pub trait Device {
     /// arrives.
     fn receive(&mut self, ctx: &mut DeviceCtx<'_>, pkt: PacketId);
 
+    /// Called with a *run* of packets that arrived at this device at the
+    /// same tick (the vector execution path, see the module docs). `pkts`
+    /// is in arrival (FIFO) order and is never empty.
+    ///
+    /// The default implementation loops [`Device::receive`], which is
+    /// always correct. Devices may override it to amortize per-packet
+    /// costs — take a state lock once, probe flow/label tables once per
+    /// consecutive same-flow run — but an override **must** be observably
+    /// identical to the per-packet loop: same counters, same emitted
+    /// packets in the same order. The scalar-vs-batched equivalence
+    /// property test pins this for the in-tree devices.
+    fn receive_batch(&mut self, ctx: &mut DeviceCtx<'_>, pkts: &[PacketId]) {
+        for &p in pkts {
+            self.receive(ctx, p);
+        }
+    }
+
     /// Called when a timer set through [`DeviceCtx::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut DeviceCtx<'_>, key: u64) {
         let _ = (ctx, key);
@@ -210,7 +241,7 @@ impl<'a> DeviceCtx<'a> {
 
 /// Aggregated counters of one simulation run. All counters are weighted: an
 /// aggregate packet of weight `w` counts as `w` packets.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Packets terminally delivered to stub hosts.
     pub delivered: u64,
@@ -420,6 +451,26 @@ pub struct Simulator {
     reassembly: FxHashMap<u64, FragState>,
     /// Per-device (service ticks per packet, busy-until time).
     service: Vec<(u64, SimTime)>,
+    /// Events drained per batch on the vector execution path (`SDM_BATCH`,
+    /// default 256); 1 selects the scalar per-event loop.
+    batch: usize,
+    /// Reusable scratch for one drained event batch (vector path).
+    scratch: Vec<EventKind>,
+    /// Reusable scratch for the packet run handed to one device (vector
+    /// path).
+    ready: Vec<PacketId>,
+}
+
+/// Default event-batch size of the vector execution path.
+const DEFAULT_BATCH: usize = 256;
+
+/// Batch size from the `SDM_BATCH` environment variable (default
+/// [`DEFAULT_BATCH`]; values below 1 clamp to 1 = scalar).
+fn batch_from_env() -> usize {
+    std::env::var("SDM_BATCH")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(DEFAULT_BATCH, |b| b.max(1))
 }
 
 /// Bookkeeping of one emulated fragmentation: fragments reference the
@@ -518,6 +569,9 @@ impl Simulator {
             frag_seq: 0,
             reassembly: FxHashMap::default(),
             service: Vec::new(),
+            batch: batch_from_env(),
+            scratch: Vec::new(),
+            ready: Vec::new(),
         };
         sim.rebuild_gateway_table();
         sim
@@ -764,13 +818,122 @@ impl Simulator {
         }
     }
 
+    /// The event-batch size of the vector execution path (see
+    /// [`Simulator::set_batch_size`]).
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    /// Overrides the `SDM_BATCH` event-batch size for this simulator.
+    /// `1` selects the legacy scalar loop; larger values drain up to that
+    /// many same-tick events per batch and hand same-device runs to
+    /// [`Device::receive_batch`]. Output is bit-identical either way.
+    pub fn set_batch_size(&mut self, batch: usize) {
+        self.batch = batch.max(1);
+    }
+
     /// Runs until no events remain. Returns the number of events processed.
+    ///
+    /// With a batch size above 1 (see [`Simulator::set_batch_size`]) and
+    /// tracing off, this takes the vector execution path; otherwise the
+    /// scalar per-event loop. Tracing forces scalar because a batched
+    /// device's downstream trace records (delivery, router arrival) would
+    /// interleave differently with the batch-mates' device records — every
+    /// counter in [`SimStats`] is order-independent, but the trace is by
+    /// definition an ordered log.
     pub fn run_until_idle(&mut self) -> u64 {
+        if self.batch > 1 && self.trace.is_none() {
+            return self.run_batched();
+        }
         let mut n = 0;
         while self.step() {
             n += 1;
         }
         n
+    }
+
+    /// The vector execution loop: drains the calendar queue one same-tick
+    /// batch at a time and dispatches consecutive same-device deliveries
+    /// as one [`Device::receive_batch`] run.
+    ///
+    /// Equivalence to the scalar loop (pinned by
+    /// `tests/batching_equivalence.rs`): the drain never crosses a tick
+    /// boundary, so events still process in exactly the scalar pop order —
+    /// anything a batch schedules at the *current* tick lands behind the
+    /// batch in the bucket and is picked up by the next drain of the same
+    /// tick. Within a device run, per-packet pre-accounting and the
+    /// device's emissions keep their arrival order; buffered actions apply
+    /// in emission order. The only divergence is that a run-mate's actions
+    /// apply after the whole run's `receive` calls instead of interleaved,
+    /// which can renumber arena slots — unobservable, since nothing keys
+    /// off [`PacketId`] values.
+    fn run_batched(&mut self) -> u64 {
+        let mut n = 0u64;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut ready = std::mem::take(&mut self.ready);
+        loop {
+            scratch.clear();
+            let Some(at) = self.queue.pop_tick_batch(self.batch, &mut scratch) else {
+                break;
+            };
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            n += scratch.len() as u64;
+            let mut i = 0;
+            while i < scratch.len() {
+                match scratch[i] {
+                    EventKind::Arrive { node, pkt } => {
+                        self.route_step(node, pkt);
+                        i += 1;
+                    }
+                    EventKind::Timer { dev, key } => {
+                        self.dispatch_device(dev, None, Some(key));
+                        i += 1;
+                    }
+                    EventKind::DeviceRecv { dev, pkt } => {
+                        // Extend the run of consecutive deliveries to `dev`.
+                        ready.clear();
+                        self.predispatch(dev, pkt, &mut ready);
+                        i += 1;
+                        while i < scratch.len() {
+                            let EventKind::DeviceRecv { dev: d, pkt: p } = scratch[i] else {
+                                break;
+                            };
+                            if d != dev {
+                                break;
+                            }
+                            self.predispatch(dev, p, &mut ready);
+                            i += 1;
+                        }
+                        if !ready.is_empty() {
+                            self.dispatch_device_batch(dev, &ready);
+                        }
+                    }
+                }
+            }
+        }
+        self.scratch = scratch;
+        self.ready = ready;
+        n
+    }
+
+    /// The per-event bookkeeping of the scalar `DeviceRecv` arm
+    /// (reassembly, receive counters), pushing the ready packet onto the
+    /// current run. Fragments still waiting for their siblings push
+    /// nothing.
+    fn predispatch(&mut self, dev: DeviceId, pkt: PacketId, ready: &mut Vec<PacketId>) {
+        let Some(pkt) = self.maybe_reassemble(pkt) else {
+            return; // fragment buffered, waiting for the rest
+        };
+        let (weight, is_control) = {
+            let p = self.arena.get(pkt);
+            (p.weight, matches!(p.kind, PacketKind::LabelReady(_)))
+        };
+        self.stats.device_received[dev.index()] += weight;
+        if is_control {
+            self.stats.control_received += weight;
+        }
+        ready.push(pkt);
     }
 
     /// Processes a single event. Returns false when the queue is empty.
@@ -834,6 +997,40 @@ impl Simulator {
         if let Some(k) = timer {
             slot.device.on_timer(&mut ctx, k);
         }
+        self.apply_actions(dev, router, attachment, &mut actions);
+        self.actions = actions;
+    }
+
+    /// Vector-path sibling of [`Simulator::dispatch_device`]: hands a whole
+    /// same-tick run to the device in one callback, then applies the
+    /// buffered actions in emission order.
+    fn dispatch_device_batch(&mut self, dev: DeviceId, pkts: &[PacketId]) {
+        let mut actions = std::mem::take(&mut self.actions);
+        let slot = &mut self.devices[dev.index()];
+        let router = slot.router;
+        let attachment = slot.attachment;
+        let mut ctx = DeviceCtx {
+            now: self.now,
+            dev,
+            addr: slot.addr,
+            router,
+            arena: &mut self.arena,
+            actions: &mut actions,
+        };
+        slot.device.receive_batch(&mut ctx, pkts);
+        self.apply_actions(dev, router, attachment, &mut actions);
+        self.actions = actions;
+    }
+
+    /// Applies the actions a device buffered during a callback, in
+    /// emission order.
+    fn apply_actions(
+        &mut self,
+        dev: DeviceId,
+        router: NodeId,
+        attachment: Attachment,
+        actions: &mut Vec<Action>,
+    ) {
         for action in actions.drain(..) {
             match action {
                 Action::Forward(p) => {
@@ -857,7 +1054,6 @@ impl Simulator {
                 }
             }
         }
-        self.actions = actions;
     }
 
     /// One routing step at `node` for the packet, per the outermost

@@ -1,5 +1,18 @@
 //! Packets: IPv4-style headers, flow identifiers, IP-over-IP encapsulation
 //! and the steering label of §III.E.
+//!
+//! Invariants the rest of the simulator leans on:
+//!
+//! * the encapsulation stack is strictly LIFO — [`Packet::encapsulate`]
+//!   pushes an outer header, [`Packet::decapsulate`] pops it, and
+//!   [`Packet::current_dst`] always reads the outermost header;
+//! * [`Packet::five_tuple`] is the *inner* (original) flow identity, no
+//!   matter how many tunnel layers are stacked on top — flow stickiness
+//!   and shard/batch grouping key on it;
+//! * `weight` is the packet multiplicity of an aggregate: every counter
+//!   in the system adds `weight`, never `1`, so an aggregate of `w`
+//!   packets is indistinguishable from `w` unit packets in all
+//!   statistics.
 
 use std::fmt;
 

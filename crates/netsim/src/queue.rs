@@ -138,6 +138,59 @@ impl<T> CalendarQueue<T> {
         }
     }
 
+    /// Drains up to `max` events of the **earliest** tick into `out`
+    /// (appending) and returns that tick, or `None` when the queue is
+    /// empty.
+    ///
+    /// The drain never crosses a tick boundary: even if fewer than `max`
+    /// events exist at the earliest tick, events of later ticks stay
+    /// queued. This is what makes batched execution equivalent to scalar
+    /// execution — processing a drained batch may schedule *new* events at
+    /// the same tick (they land behind the batch in the bucket, exactly
+    /// where scalar FIFO would pop them), and a subsequent call continues
+    /// the same tick until it is truly exhausted.
+    ///
+    /// `pop_tick_batch(1, …)` pops exactly what [`CalendarQueue::pop`]
+    /// would.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sdm_netsim::{CalendarQueue, SimTime};
+    ///
+    /// let mut q = CalendarQueue::new();
+    /// q.push(SimTime(3), "a");
+    /// q.push(SimTime(3), "b");
+    /// q.push(SimTime(7), "later");
+    /// let mut batch = Vec::new();
+    /// assert_eq!(q.pop_tick_batch(16, &mut batch), Some(SimTime(3)));
+    /// assert_eq!(batch, vec!["a", "b"]); // tick 7 not touched
+    /// assert_eq!(q.len(), 1);
+    /// ```
+    pub fn pop_tick_batch(&mut self, max: usize, out: &mut Vec<T>) -> Option<SimTime> {
+        if max == 0 {
+            return None;
+        }
+        if self.ring_len == 0 {
+            // Same window jump as `pop`: skip the empty gap to the heap's
+            // earliest event and refill the ring.
+            let next_at = self.far.peek()?.0.at;
+            self.cur = next_at;
+            self.migrate();
+        }
+        loop {
+            let bucket = &mut self.buckets[(self.cur % WINDOW) as usize];
+            if !bucket.is_empty() {
+                let n = bucket.len().min(max);
+                out.extend(bucket.drain(..n));
+                self.ring_len -= n;
+                return Some(SimTime(self.cur));
+            }
+            self.cur += 1;
+            self.migrate();
+        }
+    }
+
     /// Moves every heap event inside `[cur, cur + WINDOW)` into the ring,
     /// in `(at, seq)` order.
     fn migrate(&mut self) {
@@ -220,6 +273,72 @@ mod tests {
         assert_eq!(q.pop(), Some((SimTime(t), 1)));
         assert_eq!(q.pop(), Some((SimTime(t), 2)));
         assert_eq!(q.pop(), Some((SimTime(t), 3)));
+    }
+
+    #[test]
+    fn tick_batch_drains_one_tick_only() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime(2), 1u32);
+        q.push(SimTime(2), 2);
+        q.push(SimTime(2), 3);
+        q.push(SimTime(4), 9);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_tick_batch(2, &mut out), Some(SimTime(2)));
+        assert_eq!(out, vec![1, 2], "capped at max");
+        out.clear();
+        assert_eq!(q.pop_tick_batch(8, &mut out), Some(SimTime(2)));
+        assert_eq!(out, vec![3], "finishes the tick, does not cross into t4");
+        out.clear();
+        assert_eq!(q.pop_tick_batch(8, &mut out), Some(SimTime(4)));
+        assert_eq!(out, vec![9]);
+        assert_eq!(q.pop_tick_batch(8, &mut out), None);
+        assert_eq!(q.pop_tick_batch(0, &mut out), None, "zero max drains nothing");
+    }
+
+    #[test]
+    fn tick_batch_sees_events_pushed_mid_tick() {
+        // Processing a drained batch may schedule new work at the same
+        // tick; the next drain must return the same tick, FIFO-continuing.
+        let mut q = CalendarQueue::new();
+        q.push(SimTime(5), 1u32);
+        q.push(SimTime(5), 2);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_tick_batch(16, &mut out), Some(SimTime(5)));
+        q.push(SimTime(5), 3); // "emitted" while handling the batch
+        out.clear();
+        assert_eq!(q.pop_tick_batch(16, &mut out), Some(SimTime(5)));
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn tick_batch_crosses_heap_spill_boundary_in_order() {
+        // Events at the same tick split across ring and heap (pushed
+        // before vs after the window crossed the tick) must drain in
+        // global push order, exactly like scalar pop.
+        let mut q = CalendarQueue::new();
+        let t = WINDOW + 50;
+        q.push(SimTime(t), 1u32); // heap-bound (outside the window)
+        q.push(SimTime(0), 0);
+        q.push(SimTime(60), 9); // popping this slides the window across t
+        let mut out = Vec::new();
+        assert_eq!(q.pop_tick_batch(16, &mut out), Some(SimTime(0)));
+        assert_eq!(q.pop_tick_batch(16, &mut out), Some(SimTime(60)));
+        q.push(SimTime(t), 2); // now ring-bound, behind the migrated entry
+        q.push(SimTime(t), 3);
+        out.clear();
+        assert_eq!(q.pop_tick_batch(16, &mut out), Some(SimTime(t)));
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tick_batch_skips_empty_gap_to_far_future() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime(WINDOW * 3 + 7), 42u32);
+        q.push(SimTime(WINDOW * 3 + 7), 43);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_tick_batch(16, &mut out), Some(SimTime(WINDOW * 3 + 7)));
+        assert_eq!(out, vec![42, 43]);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -172,7 +172,7 @@ impl TrafficDescriptor {
     }
 
     /// True if any source address matched by this descriptor lies inside
-    /// `subnet` — the controller's test for "descriptors [that] contain at
+    /// `subnet` — the controller's test for "descriptors \[that\] contain at
     /// least one source address from the subnet behind x" (§III.B).
     pub fn source_overlaps(&self, subnet: Prefix) -> bool {
         self.src.overlaps(subnet)

@@ -153,6 +153,21 @@ impl FlowTable {
         }
     }
 
+    /// Vector-path hit accounting: counts `weight` packets as cache hits
+    /// *without* probing the map.
+    ///
+    /// Only valid when the immediately preceding operation on this table
+    /// was a [`FlowTable::lookup`] or insert of the **same flow at the
+    /// same instant** — i.e. for the run-mates of a consecutive same-flow
+    /// run in a batch. The entry is then guaranteed present and already
+    /// refreshed at `now`, so a real lookup would be a pure hit whose only
+    /// effect is `hits += weight`; this records exactly that, keeping the
+    /// counters bit-identical to per-packet lookups while skipping the
+    /// hash probe and the action-list clone.
+    pub fn record_run_hit(&mut self, weight: u64) {
+        self.stats.hits += weight;
+    }
+
     /// Inserts (or replaces) a positive entry mapping the flow to a policy's
     /// action list.
     pub fn insert_positive(

@@ -9,7 +9,7 @@
 //! |---|---|---|
 //! | [`rng`] | `rand` | seeded SplitMix64/Xoshiro256** PRNG, `gen_range`, shuffle, sampling |
 //! | [`prop`] | `proptest` | seeded case generation, shrinking by halving/truncation, failure-seed reporting |
-//! | [`bench`] | `criterion` | warmup + timed samples, median/p95, JSON emission (`BENCH_baseline.json`) |
+//! | [`mod@bench`] | `criterion` | warmup + timed samples, median/p95, JSON emission (`BENCH_baseline.json`) |
 //! | [`json`] | `serde` | a tiny JSON value type, writer and recursive-descent parser |
 //! | [`par`] | `crossbeam` | scoped-thread ordered parallel map |
 //! | [`sync`] | `parking_lot` | `std::sync::Mutex` wrapper with a non-poisoning `lock()` |

@@ -1,0 +1,193 @@
+//! Property test for the vector (batched) hot path: running the same
+//! deployment, strategy and flow population at batch size 1 (the scalar
+//! legacy path), a small odd batch (3) and the default batch (256) is
+//! **bit-identical** — simulator stats, middlebox loads, traffic
+//! measurements, per-device counters and soft-state footprints — across
+//! randomized deployments, strategies and steering encodings.
+//!
+//! Batch sizes are set per-`Enforcement` via `sim_mut().set_batch_size`
+//! rather than through `SDM_BATCH`, so the test is immune to env races
+//! in a parallel test run.
+
+use sdm::core::{
+    Controller, EnforcementOptions, FlowSpec, StateFootprint, Strategy as Steering,
+    SteeringEncoding,
+};
+use sdm::netsim::SimStats;
+use sdm::util::prop::{check, Config};
+use sdm::util::prop_assert_eq;
+use sdm::util::rng::StdRng;
+use sdm_bench::{ExperimentConfig, World};
+use sdm_workload::{to_flow_specs, WorkloadConfig};
+
+/// Everything one run exposes, so two runs compare with one
+/// `prop_assert_eq` per field.
+struct Snapshot {
+    stats: SimStats,
+    loads: Vec<u64>,
+    measurements: Vec<(sdm::netsim::StubId, sdm::core::DestKey, sdm::policy::PolicyId, f64)>,
+    proxy_counters: Vec<sdm::core::ProxyCounters>,
+    mbox_counters: Vec<sdm::core::MboxCounters>,
+    footprint: StateFootprint,
+}
+
+fn run_with_batch(
+    controller: &Controller,
+    strategy: Steering,
+    options: EnforcementOptions,
+    specs: &[FlowSpec],
+    batch: usize,
+) -> Snapshot {
+    let mut enf = controller.enforcement(strategy, None, options);
+    enf.sim_mut().set_batch_size(batch);
+    for s in specs {
+        enf.inject_flow(s.flow, s.packets, s.payload);
+    }
+    enf.run();
+    let mut footprint = StateFootprint::default();
+    let mut proxy_counters = Vec::new();
+    for stub in controller.addr_plan().stubs() {
+        let st = enf.proxy_state(stub);
+        let st = st.lock();
+        proxy_counters.push(st.counters);
+        footprint.proxy_flow_entries.push(st.flows.len() as u64);
+        footprint.proxy_flow_stats.push(st.flows.stats());
+    }
+    for g in 0..controller.plan().gateways().len() {
+        let st = enf.ingress_state(g);
+        footprint.ingress_flow_entries.push(st.lock().flows.len() as u64);
+    }
+    let mut mbox_counters = Vec::new();
+    for (id, _) in controller.deployment().iter() {
+        let st = enf.mbox_state(id);
+        let st = st.lock();
+        mbox_counters.push(st.counters);
+        footprint.mbox_flow_entries.push(st.flows.len() as u64);
+        footprint.mbox_label_entries.push(st.labels.len() as u64);
+        footprint.mbox_flow_stats.push(st.flows.stats());
+    }
+    Snapshot {
+        stats: enf.sim().stats().clone(),
+        loads: enf.middlebox_loads(),
+        measurements: enf.measurements().iter().collect(),
+        proxy_counters,
+        mbox_counters,
+        footprint,
+    }
+}
+
+fn compare(scalar: &Snapshot, batched: &Snapshot, label: &str) -> Result<(), String> {
+    prop_assert_eq!(&batched.stats, &scalar.stats, "{label}: sim stats");
+    prop_assert_eq!(&batched.loads, &scalar.loads, "{label}: loads");
+    prop_assert_eq!(
+        &batched.measurements,
+        &scalar.measurements,
+        "{label}: traffic matrix"
+    );
+    prop_assert_eq!(
+        &batched.proxy_counters,
+        &scalar.proxy_counters,
+        "{label}: proxy counters"
+    );
+    prop_assert_eq!(
+        &batched.mbox_counters,
+        &scalar.mbox_counters,
+        "{label}: middlebox counters"
+    );
+    prop_assert_eq!(
+        &batched.footprint,
+        &scalar.footprint,
+        "{label}: state footprint"
+    );
+    Ok(())
+}
+
+#[test]
+fn batched_runs_are_bit_identical_to_scalar() {
+    check(
+        "batched_runs_are_bit_identical_to_scalar",
+        &Config::with_cases(6),
+        |rng: &mut StdRng| {
+            let seed = rng.gen_range(1u64..1000);
+            let mbox_counts = [
+                rng.gen_range(1usize..4),
+                rng.gen_range(2usize..6),
+                rng.gen_range(2usize..6),
+                rng.gen_range(1usize..4),
+            ];
+            let packets = rng.gen_range(5_000u64..30_000);
+            let flow_seed = rng.next_u64();
+            // mode packs (strategy, encoding): strategy = mode % 2
+            // (HP / Random), encoding = mode / 2 (IpOverIp /
+            // LabelSwitching / SourceRouting).
+            let mode = rng.gen_range(0u8..6);
+            let batch = rng.gen_range(2usize..32);
+            (seed, mbox_counts, packets, flow_seed, mode, batch)
+        },
+        |&(seed, mbox_counts, packets, flow_seed, mode, batch)| {
+            let cfg = ExperimentConfig {
+                mbox_counts,
+                ..ExperimentConfig::campus(seed)
+            };
+            let world = World::build(&cfg);
+            let flows = sdm_workload::generate_flows_with_total(
+                &world.generated,
+                world.controller.addr_plan(),
+                &WorkloadConfig {
+                    seed: flow_seed,
+                    ..Default::default()
+                },
+                packets,
+            );
+            let specs = to_flow_specs(&flows, 512);
+            let strategy = match mode % 2 {
+                0 => Steering::HotPotato,
+                _ => Steering::Random { salt: flow_seed },
+            };
+            let options = EnforcementOptions {
+                encoding: match mode / 2 {
+                    0 => SteeringEncoding::IpOverIp,
+                    1 => SteeringEncoding::LabelSwitching,
+                    _ => SteeringEncoding::SourceRouting,
+                },
+                ..Default::default()
+            };
+
+            let scalar = run_with_batch(&world.controller, strategy, options, &specs, 1);
+            let small = run_with_batch(&world.controller, strategy, options, &specs, batch);
+            let big = run_with_batch(&world.controller, strategy, options, &specs, 256);
+            compare(&scalar, &small, &format!("batch {batch} vs scalar"))?;
+            compare(&scalar, &big, "batch 256 vs scalar")?;
+            Ok(())
+        },
+    );
+}
+
+/// The full figure pipeline (LP-weighted load balancing included) is
+/// batch-size invariant: the exact configuration Figures 4–5 and
+/// Table III run, compared scalar vs default batch.
+#[test]
+fn lb_pipeline_is_batch_invariant() {
+    let world = World::build(&ExperimentConfig::campus(3));
+    let flows = world.flows(40_000, 11);
+    let specs = to_flow_specs(&flows, 512);
+    for strategy in [Steering::HotPotato, Steering::Random { salt: 11 }] {
+        let scalar = run_with_batch(
+            &world.controller,
+            strategy,
+            EnforcementOptions::default(),
+            &specs,
+            1,
+        );
+        let batched = run_with_batch(
+            &world.controller,
+            strategy,
+            EnforcementOptions::default(),
+            &specs,
+            256,
+        );
+        assert_eq!(scalar.stats, batched.stats);
+        assert_eq!(scalar.loads, batched.loads);
+        assert_eq!(scalar.measurements, batched.measurements);
+    }
+}

@@ -265,3 +265,94 @@ fn label_switching_equivalence() {
         },
     );
 }
+
+/// The batched calendar-queue drain (`pop_tick_batch`) yields exactly the
+/// scalar `pop` order — including across the one seam where it could
+/// plausibly reorder: the 1024-tick ring window → far-future heap spill
+/// boundary, where heap entries migrate back into ring buckets as the
+/// window advances. Randomized pushes straddle the boundary and drains
+/// use randomized batch sizes, with both queues kept in lockstep.
+#[test]
+fn batched_queue_drain_matches_scalar_pop_order() {
+    use sdm::netsim::{CalendarQueue, SimTime};
+    check(
+        "batched_queue_drain_matches_scalar_pop_order",
+        &Config::with_cases(16),
+        |rng: &mut StdRng| {
+            let rounds = rng.gen_range(1usize..5);
+            (0..rounds)
+                .map(|_| {
+                    let n = rng.gen_range(1usize..200);
+                    // A quarter of the offsets land past the 1024-tick ring
+                    // window, into the far-future heap.
+                    let offs = (0..n)
+                        .map(|_| {
+                            if rng.gen_range(0u8..4) == 0 {
+                                rng.gen_range(1024u64..5000)
+                            } else {
+                                rng.gen_range(0u64..1024)
+                            }
+                        })
+                        .collect::<Vec<u64>>();
+                    let maxes = (0..rng.gen_range(1usize..8))
+                        .map(|_| rng.gen_range(1usize..64))
+                        .collect::<Vec<usize>>();
+                    (offs, maxes)
+                })
+                .collect::<Vec<_>>()
+        },
+        |ops| {
+            let mut scalar: CalendarQueue<u32> = CalendarQueue::new();
+            let mut batched: CalendarQueue<u32> = CalendarQueue::new();
+            let mut next_id = 0u32;
+            let mut watermark = 0u64; // max tick popped so far: pushes stay in the future
+            let mut got_scalar = Vec::new();
+            let mut got_batched = Vec::new();
+            let mut buf = Vec::new();
+            for (offs, maxes) in ops {
+                for &o in offs {
+                    let at = SimTime(watermark + o);
+                    scalar.push(at, next_id);
+                    batched.push(at, next_id);
+                    next_id += 1;
+                }
+                // Partial drains in lockstep: whatever one tick-batch
+                // removes, the scalar queue pops the same count.
+                for &m in maxes {
+                    buf.clear();
+                    let Some(tick) = batched.pop_tick_batch(m.max(1), &mut buf) else {
+                        break;
+                    };
+                    watermark = watermark.max(tick.0);
+                    for &v in &buf {
+                        got_batched.push((tick.0, v));
+                    }
+                    for _ in 0..buf.len() {
+                        let (t, v) = scalar.pop().expect("scalar queue ran dry first");
+                        got_scalar.push((t.0, v));
+                    }
+                }
+            }
+            // Drain the rest through both paths.
+            loop {
+                buf.clear();
+                let Some(tick) = batched.pop_tick_batch(97, &mut buf) else {
+                    break;
+                };
+                for &v in &buf {
+                    got_batched.push((tick.0, v));
+                }
+            }
+            while let Some((t, v)) = scalar.pop() {
+                got_scalar.push((t.0, v));
+            }
+            prop_assert!(scalar.is_empty() && batched.is_empty(), "both queues drained");
+            prop_assert_eq!(
+                got_batched,
+                got_scalar,
+                "batched tick-drain order != scalar pop order"
+            );
+            Ok(())
+        },
+    );
+}
