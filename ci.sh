@@ -58,8 +58,17 @@ SDM_BATCH=256 cargo run --release --offline -p sdm-bench --bin table3_distributi
 cmp /tmp/sdm_table3_batch1.txt /tmp/sdm_table3_batch256.txt
 echo "    table3 output is byte-identical at batch 1 and 256"
 
-phase "micro-benchmarks -> results/BENCH_pr6.json"
-SDM_BENCH_OUT=results/BENCH_pr6.json cargo bench --workspace --offline
+phase "re-steer epoch golden: transcript byte-identical to results/resteer_golden.txt"
+SDM_SHARDS=1 SDM_BATCH=1 cargo run --release --offline -p sdm-bench --bin resteer \
+    > /tmp/sdm_resteer_s1b1.txt
+cmp results/resteer_golden.txt /tmp/sdm_resteer_s1b1.txt
+SDM_SHARDS=4 SDM_BATCH=256 cargo run --release --offline -p sdm-bench --bin resteer \
+    > /tmp/sdm_resteer_s4b256.txt
+cmp results/resteer_golden.txt /tmp/sdm_resteer_s4b256.txt
+echo "    re-steer transcript matches the golden at 1/1 and 4/256 shards/batch"
+
+phase "micro-benchmarks -> results/BENCH_pr7.json"
+SDM_BENCH_OUT=results/BENCH_pr7.json cargo bench --workspace --offline
 
 phase "bench regression gate (>25% median slowdown fails)"
 cargo run --release --offline -p sdm-bench --bin bench_gate

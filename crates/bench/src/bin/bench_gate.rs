@@ -7,7 +7,7 @@
 //! The fresh file is produced by the bench harness itself, e.g.
 //!
 //! ```sh
-//! SDM_BENCH_OUT=results/BENCH_pr6.json cargo bench --workspace --offline
+//! SDM_BENCH_OUT=results/BENCH_pr7.json cargo bench --workspace --offline
 //! cargo run --release --offline -p sdm-bench --bin bench_gate
 //! ```
 //!
@@ -27,6 +27,17 @@
 //! Both are enforced only on hosts with at least 4 hardware threads and
 //! reported informationally otherwise — a 1-core CI box cannot speed up
 //! by threading, and its batching gains are noisy enough to flap a gate.
+//!
+//! A third check is hardware-independent: the `warm_start` group records
+//! the simplex **pivot counts** of a warm-started epoch re-solve sweep
+//! next to a cold one (see `benches/warm_start.rs`), and the gate fails
+//! when warm-starting stopped saving pivots — an algorithmic property, so
+//! it is enforced on every host.
+//!
+//! `--write-baseline` refuses to overwrite a committed
+//! `results/BENCH_*.json` comparison input unless `--force` is also
+//! given: those files are the trajectory record future PRs diff against,
+//! and clobbering one silently rewrites history.
 //!
 //! Run with `--help` for the flag and exit-code reference.
 
@@ -55,7 +66,7 @@ FLAGS:
   --baseline PATH         baseline JSON file
                           (default: results/BENCH_baseline.json)
   --current PATH          fresh JSON file produced via SDM_BENCH_OUT
-                          (default: results/BENCH_pr6.json)
+                          (default: results/BENCH_pr7.json)
   --max-regress PCT       fail when a paired benchmark's median regressed
                           by more than PCT percent (default: 25)
   --noise-floor NS        ignore paired regressions whose absolute median
@@ -70,15 +81,35 @@ FLAGS:
                           regime); enforced only on hosts with >= 4
                           hardware threads (default: 2.0)
   --write-baseline        on success, copy the current file over the
-                          baseline (adopt the new numbers)
+                          baseline (adopt the new numbers); refuses a
+                          committed results/BENCH_*.json target unless
+                          --force is also given
+  --force                 allow --write-baseline to overwrite a committed
+                          results/BENCH_*.json comparison input
   --help                  print this reference and exit
 
 EXIT CODES:
   0  gate passed (and baseline updated, if --write-baseline)
   1  a benchmark regressed beyond --max-regress, a speedup target was
-     missed on a >= 4-core host, an input file was missing/unparsable,
-     no benchmarks paired between the files, or the baseline could not
-     be written";
+     missed on a >= 4-core host, the warm-start pivot check failed, an
+     input file was missing/unparsable, no benchmarks paired between the
+     files, --write-baseline targeted a committed results/BENCH_*.json
+     without --force, or the baseline could not be written";
+
+/// Whether `path` looks like a committed `results/BENCH_*.json`
+/// comparison input (the perf-trajectory record): an *existing* file
+/// named `BENCH_*.json` inside a `results/` directory. Freshly produced
+/// scratch outputs elsewhere may be overwritten freely.
+fn is_committed_baseline(path: &str) -> bool {
+    let p = std::path::Path::new(path);
+    let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    let in_results = p
+        .parent()
+        .and_then(|d| d.file_name())
+        .and_then(|n| n.to_str())
+        == Some("results");
+    in_results && name.starts_with("BENCH_") && name.ends_with(".json") && p.is_file()
+}
 
 fn load(path: &str) -> Result<Json, String> {
     let text =
@@ -185,6 +216,43 @@ faster than scalar (required {min_speedup:.2}x on a {cores}-core host)"
     true
 }
 
+/// Checks that warm-starting the epoch re-solve sweep saves simplex
+/// pivots over cold solves (the `warm_start` group's recorded counters);
+/// returns `false` when the benches are present and warm stopped winning.
+/// Pivot counts are deterministic, so — unlike the timing-based speedup
+/// checks — this is enforced regardless of core count.
+fn warm_start_check(current: &Json) -> bool {
+    let (Some(cold), Some(warm)) = (
+        median_for(current, "warm_start", "pivots_cold"),
+        median_for(current, "warm_start", "pivots_warm"),
+    ) else {
+        println!("# warm-start pivots: benches not present in current run, skipped");
+        return true;
+    };
+    if let (Some(c_ns), Some(w_ns)) = (
+        median_for(current, "warm_start", "epoch_sweep_cold"),
+        median_for(current, "warm_start", "epoch_sweep_warm"),
+    ) {
+        println!(
+            "# warm-start re-solve latency: {:.2}x faster than cold over the epoch sweep",
+            c_ns / w_ns
+        );
+    }
+    println!(
+        "# warm-start pivots: {warm:.0} warm vs {cold:.0} cold over the epoch sweep \
+({:.1}% saved)",
+        (1.0 - warm / cold) * 100.0
+    );
+    if warm >= cold {
+        println!(
+            "bench gate FAILED — warm-started epoch sweep must spend fewer simplex pivots \
+than cold re-solves ({warm:.0} >= {cold:.0})"
+        );
+        return false;
+    }
+    true
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -194,7 +262,7 @@ fn main() -> ExitCode {
     let baseline_path = arg_value(&args, "--baseline")
         .unwrap_or_else(|| "results/BENCH_baseline.json".to_string());
     let current_path = arg_value(&args, "--current")
-        .unwrap_or_else(|| "results/BENCH_pr6.json".to_string());
+        .unwrap_or_else(|| "results/BENCH_pr7.json".to_string());
     let max_regress_pct: f64 = arg_value(&args, "--max-regress")
         .and_then(|s| s.parse().ok())
         .unwrap_or(25.0);
@@ -208,7 +276,19 @@ fn main() -> ExitCode {
         .and_then(|s| s.parse().ok())
         .unwrap_or(50.0);
     let write_baseline = args.iter().any(|a| a == "--write-baseline");
+    let force = args.iter().any(|a| a == "--force");
     let fail_ratio = 1.0 + max_regress_pct / 100.0;
+
+    // Refuse up front, before any timing runs are compared: adopting new
+    // numbers over a committed comparison input rewrites the trajectory
+    // record and must be an explicit decision.
+    if write_baseline && !force && is_committed_baseline(&baseline_path) {
+        eprintln!(
+            "bench_gate: refusing --write-baseline over committed baseline {baseline_path}; \
+pass --force to overwrite it"
+        );
+        return ExitCode::FAILURE;
+    }
 
     let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
         (Ok(b), Ok(c)) => (b, c),
@@ -248,13 +328,14 @@ fn main() -> ExitCode {
 
     let shards_ok = shard_speedup_check(&current, min_shard_speedup);
     let batch_ok = batch_speedup_check(&current, min_batch_speedup);
+    let warm_ok = warm_start_check(&current);
 
     let mut failures = gate(&deltas, fail_ratio);
     // Sub-noise-floor absolute deltas cannot be measured reliably on this
     // hardware: a 25% regression on a 70 ns microbench is ~18 ns — inside
     // timer jitter — and would flap the gate.
     failures.retain(|d| d.new_ns - d.baseline_ns > noise_floor_ns);
-    if failures.is_empty() && shards_ok && batch_ok {
+    if failures.is_empty() && shards_ok && batch_ok && warm_ok {
         println!("\nbench gate PASSED ({} benchmarks compared)", deltas.len());
         if write_baseline {
             match std::fs::copy(&current_path, &baseline_path) {

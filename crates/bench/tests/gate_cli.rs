@@ -1,0 +1,109 @@
+//! CLI tests for `bench_gate`'s baseline-adoption safety: `--write-baseline`
+//! must refuse to overwrite a committed `results/BENCH_*.json` comparison
+//! input unless `--force` is given, while scratch targets elsewhere stay
+//! freely writable.
+
+use std::path::Path;
+use std::process::Command;
+
+/// A minimal valid bench-result file with one group/bench at `median` ns.
+fn bench_json(median: f64) -> String {
+    format!(
+        "{{\"g\": {{\"b\": {{\"batch\": 1, \"samples\": 2, \"mean_ns\": {median}, \
+\"median_ns\": {median}, \"p95_ns\": {median}, \"min_ns\": {median}}}}}}}\n"
+    )
+}
+
+fn run_gate(baseline: &Path, current: &Path, extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_gate"))
+        .arg("--baseline")
+        .arg(baseline)
+        .arg("--current")
+        .arg(current)
+        .args(extra)
+        .output()
+        .expect("bench_gate must spawn")
+}
+
+fn setup(tag: &str) -> (std::path::PathBuf, std::path::PathBuf, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("sdm-gate-cli-{tag}"));
+    let results = dir.join("results");
+    std::fs::create_dir_all(&results).unwrap();
+    // committed-looking baseline: results/BENCH_*.json that already exists
+    let baseline = results.join("BENCH_fake.json");
+    std::fs::write(&baseline, bench_json(200.0)).unwrap();
+    // fresh run, comfortably faster so the gate itself passes
+    let current = dir.join("fresh.json");
+    std::fs::write(&current, bench_json(150.0)).unwrap();
+    (dir, baseline, current)
+}
+
+#[test]
+fn write_baseline_refuses_committed_target_without_force() {
+    let (dir, baseline, current) = setup("refuse");
+    let out = run_gate(&baseline, &current, &["--write-baseline"]);
+    assert!(
+        !out.status.success(),
+        "must refuse: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("refusing --write-baseline"),
+        "stderr must explain the refusal, got: {err}"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&baseline).unwrap(),
+        bench_json(200.0),
+        "committed baseline must be untouched"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn write_baseline_with_force_overwrites_committed_target() {
+    let (dir, baseline, current) = setup("force");
+    let out = run_gate(&baseline, &current, &["--write-baseline", "--force"]);
+    assert!(
+        out.status.success(),
+        "forced adoption must pass: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read_to_string(&baseline).unwrap(),
+        bench_json(150.0),
+        "--force must adopt the new numbers"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn write_baseline_to_scratch_path_needs_no_force() {
+    let (dir, _, current) = setup("scratch");
+    // a baseline outside results/ (or not BENCH_*.json) is scratch
+    let scratch = dir.join("scratch_baseline.json");
+    std::fs::write(&scratch, bench_json(200.0)).unwrap();
+    let out = run_gate(&scratch, &current, &["--write-baseline"]);
+    assert!(
+        out.status.success(),
+        "scratch adoption must pass without --force: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(std::fs::read_to_string(&scratch).unwrap(), bench_json(150.0));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn gate_without_write_baseline_never_writes() {
+    let (dir, baseline, current) = setup("readonly");
+    let out = run_gate(&baseline, &current, &[]);
+    assert!(out.status.success());
+    assert_eq!(
+        std::fs::read_to_string(&baseline).unwrap(),
+        bench_json(200.0),
+        "plain gate run must not touch the baseline"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}

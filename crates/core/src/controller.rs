@@ -20,13 +20,16 @@ use sdm_policy::{ClassifierKind, LocalClassifier, PolicySet, ProjectedPolicies};
 use sdm_topology::{NetworkPlan, RoutingTables};
 
 use crate::deployment::{Deployment, MiddleboxId};
-use crate::lp_model::{build_full, build_reduced, LbError, LbOptions, LbReport};
+use crate::lp_model::{
+    build_full, build_reduced, build_reduced_with_cache, LbError, LbOptions, LbReport,
+    LbWarmCache,
+};
 use crate::ingress::IngressProxy;
 use crate::measure::TrafficMatrix;
 use crate::middlebox::MiddleboxDevice;
 use crate::proxy::ProxyDevice;
 use crate::report::LoadReport;
-use crate::runtime::{MboxState, ProxyState, RuntimeConfig, Shared};
+use crate::runtime::{MboxState, ProxyState, RuntimeConfig, Shared, WeightsCell};
 use crate::steer::{Assignments, KConfig, SteeringEncoding, SteeringWeights, Strategy};
 
 /// Options for building an enforcement simulation.
@@ -200,17 +203,22 @@ impl Controller {
     /// Panics if `id` is out of range.
     pub fn fail_middlebox(&mut self, id: MiddleboxId) {
         self.deployment.fail(id);
-        self.recompute_assignments();
+        self.repair_assignments(id);
     }
 
     /// Clears a failure mark and recomputes candidate sets.
     pub fn restore_middlebox(&mut self, id: MiddleboxId) {
         self.deployment.restore(id);
-        self.recompute_assignments();
+        self.repair_assignments(id);
     }
 
-    fn recompute_assignments(&mut self) {
-        self.assignments = Assignments::compute_with_gateways(
+    /// Incremental candidate-set repair after `changed` flipped its
+    /// availability: rebuilds only the columns for the functions that box
+    /// implements (see [`Assignments::repair_for_middlebox`]); equivalent
+    /// to the full recompute but proportionally cheaper.
+    fn repair_assignments(&mut self, changed: MiddleboxId) {
+        self.assignments.repair_for_middlebox(
+            changed,
             &self.deployment,
             &self.routes,
             self.plan.edges(),
@@ -312,6 +320,31 @@ impl Controller {
         build_reduced(&self.deployment, &self.assignments, &self.policies, traffic, options)
     }
 
+    /// Like [`Controller::solve_load_balanced`], but reuses the simplex
+    /// bases cached in `cache` from the previous epoch's solve when the
+    /// LP shape is unchanged — the warm-start path of the online re-steer
+    /// control loop. Falls back to a cold solve (and refreshes the cache)
+    /// whenever the traffic support or candidate sets changed shape.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Controller::solve_load_balanced`].
+    pub fn solve_load_balanced_with_cache(
+        &self,
+        traffic: &TrafficMatrix,
+        options: LbOptions,
+        cache: &mut LbWarmCache,
+    ) -> Result<(SteeringWeights, LbReport), LbError> {
+        build_reduced_with_cache(
+            &self.deployment,
+            &self.assignments,
+            &self.policies,
+            traffic,
+            options,
+            Some(cache),
+        )
+    }
+
     /// Solves the full per-(s,d,p) LP (Eq. 1); for the formulation
     /// ablation.
     ///
@@ -349,7 +382,7 @@ impl Controller {
         let config = Arc::new(RuntimeConfig {
             strategy,
             assignments: self.assignments.clone(),
-            weights,
+            weights: WeightsCell::new(weights),
             mbox_addrs,
             addr_to_mbox,
             addr_plan: self.addr_plan.clone(),
@@ -537,6 +570,20 @@ impl Enforcement {
     /// Snapshot of the traffic measurements the proxies collected.
     pub fn measurements(&self) -> TrafficMatrix {
         self.measurements.lock().clone()
+    }
+
+    /// Drains the accumulated traffic measurements, leaving an empty
+    /// matrix behind. The epoch control loop calls this at each epoch
+    /// boundary so every re-solve sees exactly one epoch's traffic.
+    pub fn take_measurements(&self) -> TrafficMatrix {
+        std::mem::take(&mut *self.measurements.lock())
+    }
+
+    /// Swaps a new weight table into the shared runtime config (§III.C
+    /// re-steering). Takes effect for *new* flows on their next
+    /// flow-cache miss; live flows stay sticky to their cached decision.
+    pub fn update_weights(&self, weights: Option<SteeringWeights>) {
+        self.config.weights.swap(weights);
     }
 
     /// Handle to one proxy's mutable state (flow cache, counters).

@@ -118,15 +118,24 @@ impl Device for IngressProxy {
             return;
         }
 
-        let first_fn = actions.first().expect("non-permit chain");
-        let commodity = self.config.commodity_of(ctx.pkt(pkt));
-        let Some(next) =
-            self.config
-                .select_for_commodity(point, policy_id, first_fn, 0, &ft, commodity)
-        else {
-            state.counters.unenforceable += weight;
-            ctx.drop_pkt(pkt);
-            return;
+        // Pinned first hop wins, so an epoch weight swap never re-steers a
+        // live inbound flow (§III.B stickiness); the lookup above already
+        // resolved the flow at this instant, so the pin cannot be stale.
+        let next = match state.flows.pinned_next(&ft) {
+            Some(raw) => crate::deployment::MiddleboxId(raw),
+            None => {
+                let first_fn = actions.first().expect("non-permit chain");
+                let commodity = self.config.commodity_of(ctx.pkt(pkt));
+                let Some(next) = self.config.select_for_commodity(
+                    point, policy_id, first_fn, 0, &ft, commodity,
+                ) else {
+                    state.counters.unenforceable += weight;
+                    ctx.drop_pkt(pkt);
+                    return;
+                };
+                state.flows.pin_next(&ft, next.0);
+                next
+            }
         };
         let next_addr = self.config.mbox_addr(next);
 

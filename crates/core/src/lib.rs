@@ -55,6 +55,7 @@
 
 mod controller;
 mod deployment;
+mod epoch;
 mod ingress;
 mod lp_model;
 mod measure;
@@ -68,14 +69,18 @@ mod verify;
 
 pub use controller::{ConfigFootprint, Controller, Enforcement, EnforcementOptions};
 pub use deployment::{Deployment, MiddleboxId, MiddleboxSpec};
-pub use lp_model::{build_full, build_reduced, LbError, LbOptions, LbReport};
+pub use epoch::{EpochError, EpochLoop, EpochReport};
+pub use lp_model::{
+    build_full, build_reduced, build_reduced_with_cache, LbError, LbOptions, LbReport,
+    LbWarmCache,
+};
 pub use measure::{DestKey, TrafficMatrix};
 pub use ingress::IngressProxy;
 pub use middlebox::MiddleboxDevice;
 pub use proxy::ProxyDevice;
 pub use report::{LoadReport, LoadRow};
 pub use runtime::{
-    MboxCounters, MboxState, ProxyCounters, ProxyState, RuntimeConfig, Shared,
+    MboxCounters, MboxState, ProxyCounters, ProxyState, RuntimeConfig, Shared, WeightsCell,
 };
 pub use shard::{resolve_shards, shard_of, FlowSpec, ShardedRun, StateFootprint};
 pub use steer::{

@@ -22,7 +22,7 @@
 use sdm_util::FxHashMap;
 use std::fmt;
 
-use sdm_lp::{LinearProgram, Relation, SolveError, VarId};
+use sdm_lp::{Basis, LinearProgram, Relation, SolveError, VarId};
 use sdm_netsim::StubId;
 use sdm_policy::{NetworkFunction, PolicyId, PolicySet};
 
@@ -83,6 +83,30 @@ pub struct LbReport {
     pub constraints: usize,
     /// Simplex pivots spent.
     pub iterations: u64,
+    /// `true` when both solves of the reduced formulation re-used a
+    /// warm-start basis from a [`LbWarmCache`] (the online epoch loop);
+    /// `false` on cold solves and for the full formulation.
+    pub warm: bool,
+}
+
+/// Warm-start cache for the online re-steer loop: the optimal bases of
+/// the two solves inside [`build_reduced_with_cache`] (the min-λ pass and
+/// the lexicographic refinement pass). As long as the epoch's traffic
+/// matrix keeps the same support (cells, sources, candidate sets), the LP
+/// shape is unchanged and the cached bases let the simplex re-optimize in
+/// a handful of pivots; any shape change is detected by the basis
+/// fingerprint and silently falls back to a cold solve.
+#[derive(Debug, Clone, Default)]
+pub struct LbWarmCache {
+    lambda_basis: Option<Basis>,
+    refine_basis: Option<Basis>,
+}
+
+impl LbWarmCache {
+    /// An empty cache; the first solve through it is cold and populates it.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Internal: one enforcement stage of a policy — the boxes offering the
@@ -142,12 +166,38 @@ pub fn build_reduced(
     traffic: &TrafficMatrix,
     options: LbOptions,
 ) -> Result<(SteeringWeights, LbReport), LbError> {
+    build_reduced_with_cache(deployment, assignments, policies, traffic, options, None)
+}
+
+/// [`build_reduced`] with an optional warm-start cache: the online epoch
+/// loop keeps one [`LbWarmCache`] alive across re-solves, so each epoch's
+/// perturbed traffic matrix re-optimizes from the previous optimal basis
+/// instead of running the full two-phase simplex. The cache is updated
+/// with this solve's final bases on success.
+///
+/// # Errors
+///
+/// As [`build_reduced`]. A stale or mismatched cache never causes an
+/// error — invalid bases are discarded and the solve falls back to cold.
+pub fn build_reduced_with_cache(
+    deployment: &Deployment,
+    assignments: &Assignments,
+    policies: &PolicySet,
+    traffic: &TrafficMatrix,
+    options: LbOptions,
+    cache: Option<&mut LbWarmCache>,
+) -> Result<(SteeringWeights, LbReport), LbError> {
+    let (lambda_hint, refine_hint) = match &cache {
+        Some(c) => (c.lambda_basis.clone(), c.refine_basis.clone()),
+        None => (None, None),
+    };
+
     // Phase 1: minimize the global maximum load factor λ.
     let model = assemble_reduced(deployment, assignments, policies, traffic, options, None)?;
     let vars = model.lp.num_vars();
     let cons = model.lp.num_constraints();
-    let sol1 = model.lp.solve()?;
-    let lambda_star = sol1.value(model.lambda);
+    let ws1 = model.lp.solve_warm(lambda_hint.as_ref())?;
+    let lambda_star = ws1.solution.value(model.lambda);
 
     // Phase 2 (lexicographic refinement): pin λ at its optimum and minimize
     // the sum of per-function-type maximum load factors. A pure min-λ LP
@@ -163,17 +213,23 @@ pub fn build_reduced(
         options,
         Some(bound),
     )?;
-    let sol = model.lp.solve()?;
+    let ws2 = model.lp.solve_warm(refine_hint.as_ref())?;
+
+    if let Some(c) = cache {
+        c.lambda_basis = Some(ws1.basis);
+        c.refine_basis = Some(ws2.basis);
+    }
 
     let mut weights = SteeringWeights::new(lambda_star);
-    extract_weights(&model.all_vars, |v| sol.value(v), &mut weights);
+    extract_weights(&model.all_vars, |v| ws2.solution.value(v), &mut weights);
     Ok((
         weights,
         LbReport {
             lambda: lambda_star,
             variables: vars,
             constraints: cons,
-            iterations: sol1.iterations + sol.iterations,
+            iterations: ws1.solution.iterations + ws2.solution.iterations,
+            warm: ws1.warm_used && ws2.warm_used,
         },
     ))
 }
@@ -645,6 +701,7 @@ pub fn build_full(
             variables: vars,
             constraints: cons,
             iterations: sol.iterations,
+            warm: false,
         },
     ))
 }
@@ -720,6 +777,64 @@ mod tests {
         for (&m, &v) in &agg {
             assert!((v - 500.0).abs() < 1e-6, "box {m} carries {v}");
         }
+    }
+
+    #[test]
+    fn warm_cache_reuses_basis_on_perturbed_traffic() {
+        let (_plan, dep, asg, pol, tm) = tiny_world();
+        let mut cache = LbWarmCache::new();
+        let (_, cold) = build_reduced_with_cache(
+            &dep, &asg, &pol, &tm, LbOptions::default(), Some(&mut cache),
+        )
+        .unwrap();
+        assert!(!cold.warm, "first solve through an empty cache is cold");
+
+        // Perturb volumes on the *existing* support: same cells, same
+        // sources, same candidate sets -> same LP shape.
+        let mut tm2 = TrafficMatrix::new();
+        tm2.record(StubId(0), DestKey::Stub(StubId(5)), PolicyId(0), 640.0);
+        tm2.record(StubId(1), DestKey::Stub(StubId(6)), PolicyId(0), 410.0);
+        let (w_warm, warm) = build_reduced_with_cache(
+            &dep, &asg, &pol, &tm2, LbOptions::default(), Some(&mut cache),
+        )
+        .unwrap();
+        let (w_cold, re_cold) =
+            build_reduced(&dep, &asg, &pol, &tm2, LbOptions::default()).unwrap();
+        assert!(warm.warm, "same-shape perturbation must warm-start");
+        assert!((warm.lambda - re_cold.lambda).abs() < 1e-6);
+        assert!(
+            warm.iterations < re_cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            re_cold.iterations
+        );
+        // The steering weights must agree with the cold solve.
+        for (key, wc) in w_cold.iter() {
+            let ww = w_warm.get(key).expect("same keys");
+            for (&(mc, vc), &(mw, vw)) in wc.iter().zip(ww) {
+                assert_eq!(mc, mw);
+                assert!((vc - vw).abs() < 1e-6, "{key:?}: {vc} vs {vw}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_cache_falls_back_cold_when_support_changes() {
+        let (_plan, dep, asg, pol, tm) = tiny_world();
+        let mut cache = LbWarmCache::new();
+        build_reduced_with_cache(&dep, &asg, &pol, &tm, LbOptions::default(), Some(&mut cache))
+            .unwrap();
+        // A new source appears: the LP gains variables/constraints, the
+        // basis fingerprint mismatches, and the solve must fall back.
+        let mut tm2 = tm.clone();
+        tm2.record(StubId(2), DestKey::Stub(StubId(7)), PolicyId(0), 300.0);
+        let (_, report) = build_reduced_with_cache(
+            &dep, &asg, &pol, &tm2, LbOptions::default(), Some(&mut cache),
+        )
+        .unwrap();
+        assert!(!report.warm, "support change must invalidate the basis");
+        let (_, cold) = build_reduced(&dep, &asg, &pol, &tm2, LbOptions::default()).unwrap();
+        assert!((report.lambda - cold.lambda).abs() < 1e-9);
     }
 
     #[test]

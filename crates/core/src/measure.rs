@@ -68,10 +68,12 @@ impl TrafficMatrix {
     }
 
     /// Merges another matrix into this one (controller-side aggregation of
-    /// per-proxy reports).
+    /// per-proxy reports). Routes every cell through [`TrafficMatrix::record`],
+    /// so non-positive volumes (a hand-built or corrupted report) are
+    /// ignored exactly as they are on the direct recording path.
     pub fn merge(&mut self, other: &TrafficMatrix) {
-        for (&k, &v) in &other.cells {
-            *self.cells.entry(k).or_insert(0.0) += v;
+        for (&(s, d, p), &v) in &other.cells {
+            self.record(s, d, p, v);
         }
     }
 
@@ -220,6 +222,28 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.volume(s(0), DestKey::Stub(s(1)), p(0)), 15.0);
         assert_eq!(a.total(p(1)), 3.0);
+    }
+
+    #[test]
+    fn merge_ignores_non_positive_cells_like_record() {
+        // Forge a report with zero/negative cells (possible only from
+        // inside the module — every public ingestion path guards), and
+        // check merge applies the same guard record does.
+        let mut bad = TrafficMatrix::new();
+        bad.cells.insert((s(0), DestKey::External, p(0)), -7.0);
+        bad.cells.insert((s(1), DestKey::External, p(0)), 0.0);
+        bad.cells.insert((s(2), DestKey::Stub(s(1)), p(1)), 4.0);
+        let mut tm = TrafficMatrix::new();
+        tm.record(s(0), DestKey::External, p(0), 10.0);
+        tm.merge(&bad);
+        assert_eq!(
+            tm.volume(s(0), DestKey::External, p(0)),
+            10.0,
+            "negative merged cell must not subtract"
+        );
+        assert_eq!(tm.volume(s(1), DestKey::External, p(0)), 0.0);
+        assert_eq!(tm.len(), 2, "zero/negative cells must not materialize");
+        assert_eq!(tm.volume(s(2), DestKey::Stub(s(1)), p(1)), 4.0);
     }
 
     #[test]

@@ -130,19 +130,30 @@ impl MiddleboxDevice {
 
         match actions.get(end + 1) {
             Some(next_fn) => {
-                // Steer to the next middlebox.
-                let commodity = self.config.commodity_of(ctx.pkt(pkt));
-                let Some(next) = self.config.select_for_commodity(
-                    SteerPoint::Middlebox(self.id),
-                    policy_id,
-                    next_fn,
-                    (end + 1) as u16,
-                    ft,
-                    commodity,
-                ) else {
-                    state.counters.unenforceable += weight;
-                    ctx.drop_pkt(pkt);
-                    return;
+                // Steer to the next middlebox. The pin recorded on this
+                // box's flow entry wins, so a weight swap between epochs
+                // never re-steers a live flow mid-chain (§III.B
+                // stickiness). `resolve_tunneled` already probed the flow
+                // at this instant, so the pin cannot be stale.
+                let next = match state.flows.pinned_next(ft) {
+                    Some(raw) => MiddleboxId(raw),
+                    None => {
+                        let commodity = self.config.commodity_of(ctx.pkt(pkt));
+                        let Some(next) = self.config.select_for_commodity(
+                            SteerPoint::Middlebox(self.id),
+                            policy_id,
+                            next_fn,
+                            (end + 1) as u16,
+                            ft,
+                            commodity,
+                        ) else {
+                            state.counters.unenforceable += weight;
+                            ctx.drop_pkt(pkt);
+                            return;
+                        };
+                        state.flows.pin_next(ft, next.0);
+                        next
+                    }
                 };
                 let next_addr = self.config.mbox_addr(next);
                 // Install the label-table entry for later label switching.
@@ -428,6 +439,12 @@ impl Device for MiddleboxDevice {
         let mut label_run: Option<(LabelKey, Option<LabelEntry>)> = None;
         for &pkt in pkts {
             if state.failed {
+                // A failure observed mid-batch also ends every cached run:
+                // if `failed` flips back before the batch is exhausted
+                // (control-driven restore), the remainder must re-probe
+                // rather than resume a pre-failure decision.
+                tunnel_run = None;
+                label_run = None;
                 state.counters.dropped_failed += ctx.pkt(pkt).weight;
                 ctx.drop_pkt(pkt);
                 continue;
@@ -469,7 +486,7 @@ mod tests {
         let config = Arc::new(RuntimeConfig {
             strategy: Strategy::HotPotato,
             assignments,
-            weights: None,
+            weights: crate::runtime::WeightsCell::new(None),
             mbox_addrs: vec![sdm_netsim::preassigned_device_addr(0)],
             addr_to_mbox: Default::default(),
             addr_plan: AddressPlan::new(&plan),

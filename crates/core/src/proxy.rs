@@ -16,10 +16,11 @@ use crate::runtime::{ProxyState, RuntimeConfig, Shared};
 use crate::steer::SteerPoint;
 
 /// The steering decision for one outbound flow: matched policy + actions
-/// (`None` = no policy), the assigned label, and whether the flow has been
-/// flagged label-switched. Exactly the tuple the flow-cache lookup yields,
-/// so one probe's result can be reused across a same-flow run in a batch.
-type FlowDecision = (Option<(PolicyId, ActionList)>, Option<Label>, bool);
+/// (`None` = no policy), the assigned label, whether the flow has been
+/// flagged label-switched, and the pinned first-hop middlebox (raw id) if
+/// one is recorded. Exactly the tuple the flow-cache lookup yields, so one
+/// probe's result can be reused across a same-flow run in a batch.
+type FlowDecision = (Option<(PolicyId, ActionList)>, Option<Label>, bool, Option<u32>);
 
 /// The policy-proxy device for one stub network.
 pub struct ProxyDevice {
@@ -72,7 +73,7 @@ impl ProxyDevice {
         let cached = state
             .flows
             .lookup(ft, now, weight)
-            .map(|e| (e.action.clone(), e.label, e.label_switched));
+            .map(|e| (e.action.clone(), e.label, e.label_switched, e.pinned_next));
         match cached {
             Some(c) => c,
             None => {
@@ -80,7 +81,7 @@ impl ProxyDevice {
                 match self.policies.first_match(ft) {
                     None => {
                         state.flows.insert_negative(*ft, now);
-                        (None, None, false)
+                        (None, None, false, None)
                     }
                     Some((id, policy)) => {
                         let actions = policy.actions.clone();
@@ -94,7 +95,7 @@ impl ProxyDevice {
                         } else {
                             None
                         };
-                        (Some((id, actions)), label, false)
+                        (Some((id, actions)), label, false, None)
                     }
                 }
             }
@@ -113,7 +114,7 @@ impl ProxyDevice {
         weight: u64,
         decision: &FlowDecision,
     ) {
-        let (action, label, label_switched) = decision;
+        let (action, label, label_switched, pinned) = decision;
         let Some((policy_id, actions)) = action else {
             // No policy: forward unchanged.
             state.counters.permitted += weight;
@@ -153,20 +154,29 @@ impl ProxyDevice {
             return;
         }
 
-        // Steer to the first function's middlebox.
-        let first_fn = actions.first().expect("non-permit chain");
-        let commodity = self.config.commodity_of(ctx.pkt(pkt));
-        let Some(next) = self.config.select_for_commodity(
-            SteerPoint::Proxy(self.stub),
-            policy_id,
-            first_fn,
-            0,
-            ft,
-            commodity,
-        ) else {
-            state.counters.unenforceable += weight;
-            ctx.drop_pkt(pkt); // drop: the policy cannot be enforced
-            return;
+        // Steer to the first function's middlebox. A pin recorded on the
+        // flow entry wins: live flows keep their original selection even
+        // after the epoch loop swapped in new weights (§III.B stickiness).
+        let next = match pinned {
+            Some(raw) => crate::deployment::MiddleboxId(*raw),
+            None => {
+                let first_fn = actions.first().expect("non-permit chain");
+                let commodity = self.config.commodity_of(ctx.pkt(pkt));
+                let Some(next) = self.config.select_for_commodity(
+                    SteerPoint::Proxy(self.stub),
+                    policy_id,
+                    first_fn,
+                    0,
+                    ft,
+                    commodity,
+                ) else {
+                    state.counters.unenforceable += weight;
+                    ctx.drop_pkt(pkt); // drop: the policy cannot be enforced
+                    return;
+                };
+                state.flows.pin_next(ft, next.0);
+                next
+            }
         };
         let next_addr = self.config.mbox_addr(next);
 
@@ -315,7 +325,7 @@ mod tests {
         let config = Arc::new(RuntimeConfig {
             strategy: Strategy::HotPotato,
             assignments,
-            weights: None,
+            weights: crate::runtime::WeightsCell::new(None),
             mbox_addrs: vec![sdm_netsim::preassigned_device_addr(0)],
             addr_to_mbox: Default::default(),
             addr_plan: addr_plan.clone(),

@@ -18,17 +18,52 @@ use crate::steer::{
 use sdm_netsim::FiveTuple;
 use sdm_policy::PolicyId;
 
+/// Interior-mutable holder for the installed LP split weights.
+///
+/// Devices share the [`RuntimeConfig`] through an `Arc`, so the §III.C
+/// re-steer control loop cannot replace the config wholesale between
+/// epochs without rebuilding every device (and losing the flow tables
+/// that make live flows sticky). Instead the weights live behind this
+/// cell: the controller [`WeightsCell::swap`]s a freshly solved table in
+/// at an epoch boundary, and each selection takes a cheap
+/// [`WeightsCell::snapshot`] handle. Selections run only on flow-cache
+/// misses, so the lock is off the per-packet fast path.
+#[derive(Debug, Default)]
+pub struct WeightsCell {
+    inner: Mutex<Option<Arc<SteeringWeights>>>,
+}
+
+impl WeightsCell {
+    /// Wraps an initial weight table (or none, for weightless strategies).
+    pub fn new(weights: Option<SteeringWeights>) -> Self {
+        WeightsCell {
+            inner: Mutex::new(weights.map(Arc::new)),
+        }
+    }
+
+    /// A shared handle to the currently installed table.
+    pub fn snapshot(&self) -> Option<Arc<SteeringWeights>> {
+        self.inner.lock().clone()
+    }
+
+    /// Installs a new table, returning the previous one.
+    pub fn swap(&self, weights: Option<SteeringWeights>) -> Option<Arc<SteeringWeights>> {
+        std::mem::replace(&mut *self.inner.lock(), weights.map(Arc::new))
+    }
+}
+
 /// Read-only configuration the controller pushes to every proxy and
 /// middlebox before traffic starts (§III.B: assignments and policies;
-/// §III.C: weights).
+/// §III.C: weights, which alone are swappable between epochs).
 #[derive(Debug)]
 pub struct RuntimeConfig {
     /// Enforcement strategy in force.
     pub strategy: Strategy,
     /// Candidate sets `M_x^e` for every steer point.
     pub assignments: Assignments,
-    /// LP split weights (present only under load-balanced enforcement).
-    pub weights: Option<SteeringWeights>,
+    /// LP split weights (present only under load-balanced enforcement);
+    /// swappable by the epoch control loop.
+    pub weights: WeightsCell,
     /// Tunnel endpoint address of each middlebox, by id.
     pub mbox_addrs: Vec<Ipv4Addr>,
     /// Reverse map of `mbox_addrs`. Fx-hashed: this table sits on the
@@ -126,7 +161,8 @@ impl RuntimeConfig {
             policy,
             next_index,
         };
-        let weights = self.weights.as_ref().and_then(|w| {
+        let table = self.weights.snapshot();
+        let weights = table.as_deref().and_then(|w| {
             commodity
                 .and_then(|(src, dst)| w.get_fine(&CommodityKey { key, src, dst }))
                 .or_else(|| w.get(&key))
@@ -288,7 +324,7 @@ mod tests {
         RuntimeConfig {
             strategy: Strategy::HotPotato,
             assignments,
-            weights: None,
+            weights: WeightsCell::new(None),
             mbox_addrs: (0..3).map(sdm_netsim::preassigned_device_addr).collect(),
             addr_to_mbox: Default::default(),
             addr_plan: AddressPlan::new(&plan),

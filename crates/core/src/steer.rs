@@ -92,7 +92,7 @@ impl Default for KConfig {
 /// The controller-computed candidate sets: for every steer point `x` and
 /// function `e`, the `k` closest middleboxes offering `e` (`M_x^e`), sorted
 /// closest-first so index 0 is the hot-potato target `m_x^e` (§III.B–C).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Assignments {
     proxy: Vec<FxHashMap<NetworkFunction, Vec<MiddleboxId>>>,
     mbox: Vec<FxHashMap<NetworkFunction, Vec<MiddleboxId>>>,
@@ -165,6 +165,57 @@ impl Assignments {
             proxy,
             mbox,
             gateway,
+        }
+    }
+
+    /// Incrementally repairs the candidate sets after middlebox `changed`
+    /// failed or was restored (a box joining or dying): only the columns
+    /// for the functions `changed` implements are recomputed — every
+    /// other function's offering set is unaffected by the flip, so its
+    /// lists are left untouched. Produces exactly what a full
+    /// [`Assignments::compute_with_gateways`] over the same deployment
+    /// state would (pinned by a property test).
+    ///
+    /// Cost: `O(points × |functions(changed)|)` list rebuilds instead of
+    /// the full `O(points × |Π|)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn repair_for_middlebox(
+        &mut self,
+        changed: MiddleboxId,
+        deployment: &Deployment,
+        routes: &RoutingTables,
+        edge_routers: &[sdm_topology::NodeId],
+        gateways: &[sdm_topology::NodeId],
+        k: &KConfig,
+    ) {
+        let affected: Vec<NetworkFunction> = deployment
+            .spec(changed)
+            .functions
+            .iter()
+            .copied()
+            .collect();
+        for &e in &affected {
+            let offer = deployment.offering(e);
+            let kk = k.k_for(e);
+            for (i, per_fn) in self.proxy.iter_mut().enumerate() {
+                per_fn.insert(
+                    e,
+                    k_closest_boxes(&offer, deployment, routes, edge_routers[i], kk),
+                );
+            }
+            for (i, per_fn) in self.gateway.iter_mut().enumerate() {
+                per_fn.insert(e, k_closest_boxes(&offer, deployment, routes, gateways[i], kk));
+            }
+            for (i, per_fn) in self.mbox.iter_mut().enumerate() {
+                let id = MiddleboxId(i as u32);
+                let spec = deployment.spec(id);
+                if spec.implements(e) {
+                    continue;
+                }
+                let others: Vec<MiddleboxId> =
+                    offer.iter().copied().filter(|&m| m != id).collect();
+                per_fn.insert(e, k_closest_boxes(&others, deployment, routes, spec.router, kk));
+            }
         }
     }
 
@@ -456,6 +507,52 @@ mod tests {
 
     fn mid(i: u32) -> MiddleboxId {
         MiddleboxId(i)
+    }
+
+    #[test]
+    fn repair_matches_full_recompute_across_fail_restore() {
+        use crate::deployment::MiddleboxSpec;
+        let plan = campus(3);
+        let mut dep = Deployment::new();
+        dep.add(MiddleboxSpec::new(Firewall, plan.cores()[0], 1.0));
+        dep.add(MiddleboxSpec::new(Firewall, plan.cores()[5], 1.0));
+        dep.add(MiddleboxSpec::new(Ids, plan.cores()[2], 1.0));
+        dep.add(MiddleboxSpec::new(Ids, plan.cores()[7], 1.0));
+        let mut multi = MiddleboxSpec::new(WebProxy, plan.cores()[9], 1.0);
+        multi.functions.insert(TrafficMonitor);
+        dep.add(multi);
+        let routes = plan.topology().routing_tables();
+        let k = KConfig::paper_default();
+        let full = |dep: &Deployment| {
+            Assignments::compute_with_gateways(
+                dep,
+                &routes,
+                plan.edges(),
+                plan.gateways(),
+                &k,
+            )
+        };
+        let mut repaired = full(&dep);
+        // every box, failed then restored — including the multi-function
+        // one and the sole survivors of a function
+        for i in 0..dep.len() as u32 {
+            dep.fail(mid(i));
+            repaired.repair_for_middlebox(
+                mid(i), &dep, &routes, plan.edges(), plan.gateways(), &k,
+            );
+            assert_eq!(repaired, full(&dep), "after failing {i}");
+            dep.restore(mid(i));
+            repaired.repair_for_middlebox(
+                mid(i), &dep, &routes, plan.edges(), plan.gateways(), &k,
+            );
+            assert_eq!(repaired, full(&dep), "after restoring {i}");
+        }
+        // overlapping failures
+        dep.fail(mid(0));
+        repaired.repair_for_middlebox(mid(0), &dep, &routes, plan.edges(), plan.gateways(), &k);
+        dep.fail(mid(2));
+        repaired.repair_for_middlebox(mid(2), &dep, &routes, plan.edges(), plan.gateways(), &k);
+        assert_eq!(repaired, full(&dep), "two concurrent failures");
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   variables with `≤ / ≥ / =` constraints.
 //! * [`LinearProgram::solve`] — a from-scratch two-phase dense simplex
 //!   solver with a Bland's-rule fallback for degenerate instances.
+//! * [`LinearProgram::solve_warm`] — the same solver warm-started from a
+//!   [`Basis`] exported by a previous solve, for the online re-steer loop
+//!   where consecutive epochs solve small perturbations of one program.
 //!
 //! # Example
 //!
@@ -39,4 +42,4 @@ mod model;
 mod simplex;
 
 pub use model::{Constraint, LinearProgram, Relation, VarId};
-pub use simplex::{Solution, SolveError};
+pub use simplex::{Basis, Solution, SolveError, WarmSolve};

@@ -7,6 +7,23 @@
 //! optimizes the real objective. Pivoting uses Dantzig's rule and falls
 //! back to Bland's rule after an iteration budget to guarantee termination
 //! on degenerate problems.
+//!
+//! # Warm starts
+//!
+//! [`LinearProgram::solve_warm`] additionally accepts a [`Basis`] exported
+//! by a previous solve. When the new program has the *same shape* (variable
+//! and constraint counts, column layout, normalized relation sequence) the
+//! recorded basis is re-installed by pivoting each row onto its recorded
+//! basic column and phase 1 is skipped entirely. If the perturbation left
+//! the old basis primal-infeasible (negative right-hand sides), a
+//! **dual-simplex repair** pivots feasibility back first — the recorded
+//! basis is still (near-)dual-feasible, so this takes a handful of pivots —
+//! and phase 2 then re-optimizes from the repaired basis. Any invalidation
+//! (shape mismatch, singular pivot under the new coefficients, a repair
+//! that stalls or would leave an artificial basic at a nonzero value)
+//! falls back to the cold path. The Bland's-rule fallbacks inside
+//! [`Tableau::optimize`] and `dual_repair` double as the anti-cycling
+//! guards for the warm re-optimization.
 
 use std::fmt;
 
@@ -54,6 +71,53 @@ impl Solution {
     pub fn value(&self, v: crate::model::VarId) -> f64 {
         self.values[v.index()]
     }
+}
+
+/// A simplex basis exported by [`LinearProgram::solve_warm`]: the basic
+/// column of every tableau row plus a shape fingerprint of the program it
+/// came from. A hint only warm-starts a program with the *same* shape —
+/// adding a variable, a constraint, or flipping a right-hand-side sign
+/// (which changes the normalized relation and hence the column layout)
+/// changes the fingerprint and the solver falls back to a cold solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    num_vars: usize,
+    num_constraints: usize,
+    cols: usize,
+    first_art: usize,
+    /// Normalized (rhs ≥ 0) relation per row; the slack/artificial column
+    /// layout is a function of this sequence.
+    rel: Vec<Relation>,
+    /// `basis[r]` = column basic in row `r`, in the internal
+    /// `[vars | slack/surplus | artificial]` layout.
+    basis: Vec<usize>,
+}
+
+impl Basis {
+    /// `true` when this basis fits `p`'s standard form exactly.
+    fn fits(&self, n: usize, p: &Prepared) -> bool {
+        self.num_vars == n
+            && self.num_constraints == p.t.rows
+            && self.cols == p.t.cols
+            && self.first_art == p.first_art
+            && self.rel == p.rel
+    }
+}
+
+/// Result of [`LinearProgram::solve_warm`]: the solution, the final basis
+/// (reusable as the next solve's hint) and whether the hint was actually
+/// installed or the solver fell back to a cold two-phase solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmSolve {
+    /// The optimal solution.
+    pub solution: Solution,
+    /// The optimal basis; pass as `hint` to re-solve a perturbed program.
+    pub basis: Basis,
+    /// `true` when the hint basis was installed and phase 1 was skipped
+    /// (including when a dual-simplex repair was needed first); `false`
+    /// on a cold solve (no hint, shape mismatch, a singular hint basis,
+    /// or a repair that stalled).
+    pub warm_used: bool,
 }
 
 /// Dense simplex tableau: `rows × cols` coefficients, per-row rhs, and a
@@ -188,6 +252,237 @@ impl Tableau {
     }
 }
 
+/// A program lowered to standard form: the initial tableau (trivial
+/// slack/artificial basis installed) plus the layout facts the solve
+/// phases need.
+struct Prepared {
+    t: Tableau,
+    first_art: usize,
+    /// Normalized relation per row (shape fingerprint component).
+    rel: Vec<Relation>,
+}
+
+/// Tolerance for warm-start pivot elements and installed-basis
+/// feasibility — looser than `EPS` so near-singular or marginal hints
+/// fall back to a cold solve instead of amplifying roundoff.
+const WARM_TOL: f64 = 1e-7;
+
+/// Re-installs a recorded basis into a freshly prepared tableau by
+/// pivoting each row onto its recorded basic column (refactorization —
+/// these pivots are not counted as solve iterations). Returns `false`,
+/// possibly leaving the tableau dirty (the caller must re-prepare), when
+/// the basis is singular under the new coefficients or primal-infeasible
+/// for the new right-hand side.
+fn install_basis(p: &mut Prepared, hint: &Basis) -> bool {
+    let (m, cols, first_art) = (p.t.rows, p.t.cols, p.first_art);
+    // A valid basis has one distinct column per row.
+    let mut seen = vec![false; cols];
+    for &c in &hint.basis {
+        if c >= cols || seen[c] {
+            return false;
+        }
+        seen[c] = true;
+    }
+    // Bring each recorded column into the basis with partial pivoting:
+    // a basis is a *set* of columns, so each column may land in whichever
+    // unassigned row gives the largest pivot element (the recorded
+    // row association need not survive the perturbation).
+    let mut assigned = vec![false; m];
+    for &tc in &hint.basis {
+        let mut best_r = usize::MAX;
+        let mut best_v = 0.0f64;
+        for (r, &taken) in assigned.iter().enumerate() {
+            if taken {
+                continue;
+            }
+            let v = p.t.at(r, tc).abs();
+            if v > best_v {
+                best_v = v;
+                best_r = r;
+            }
+        }
+        if best_v <= WARM_TOL {
+            return false; // singular under the perturbed coefficients
+        }
+        if p.t.basis[best_r] != tc {
+            p.t.pivot(best_r, tc);
+        }
+        assigned[best_r] = true;
+    }
+    // An artificial may only stay basic at (numerical) zero — otherwise
+    // the recorded basis does not describe a solution of the real
+    // program. Negative right-hand sides are fine here: the dual-simplex
+    // repair restores primal feasibility after phase-2 pricing.
+    for r in 0..m {
+        if p.t.basis[r] >= first_art && p.t.b[r].abs() > WARM_TOL {
+            return false;
+        }
+        if p.t.b[r] < 0.0 && p.t.b[r] > -WARM_TOL {
+            p.t.b[r] = 0.0;
+        }
+    }
+    true
+}
+
+/// Dual-simplex repair after basis installation: the traffic perturbation
+/// may have driven some right-hand sides negative under the recorded
+/// basis (primal infeasible), but the basis is still (near-)dual-feasible
+/// — exactly the regime dual pivots handle. Repeatedly drop the most
+/// negative row out of the basis, entering the column with the smallest
+/// reduced-cost ratio, until the rhs is non-negative. Requires the
+/// phase-2 reduced cost row to be priced out already.
+///
+/// Returns `false` (caller falls back to a cold solve) when a negative
+/// row has no eligible pivot (primal infeasible under this basis), when
+/// the pivot cap is exhausted (cycling / numerical trouble), or when the
+/// repair would leave an artificial basic at a nonzero value.
+fn dual_repair(p: &mut Prepared, budget: &mut u64, iterations: &mut u64) -> bool {
+    let (m, first_art) = (p.t.rows, p.first_art);
+    let cap = 8 * m as u64 + 512;
+    let bland_after = 4 * m as u64 + 64;
+    let mut spent = 0u64;
+    loop {
+        // Leaving row: most negative rhs.
+        let mut pr = usize::MAX;
+        let mut most = -EPS;
+        for r in 0..m {
+            if p.t.b[r] < most {
+                most = p.t.b[r];
+                pr = r;
+            }
+        }
+        if pr == usize::MAX {
+            // Feasible. Reject if an artificial ended up basic at a
+            // nonzero value; clamp numerical dust.
+            for r in 0..m {
+                if p.t.basis[r] >= first_art && p.t.b[r] > WARM_TOL {
+                    return false;
+                }
+                if p.t.b[r] < 0.0 {
+                    p.t.b[r] = 0.0;
+                }
+            }
+            return true;
+        }
+        if spent >= cap || *budget == 0 {
+            return false;
+        }
+        // Entering column: smallest ratio of reduced cost to |pivot|
+        // among strictly negative pivot elements (artificials excluded);
+        // after the anti-cycling threshold, first eligible column wins
+        // (Bland). Coefficient drift can leave slightly negative reduced
+        // costs; clamping them to zero in the ratio keeps the rule
+        // well-defined and phase 2 restores optimality afterwards.
+        let mut pc = usize::MAX;
+        let mut best = f64::INFINITY;
+        let mut best_mag = 0.0f64;
+        for (j, &cj) in p.t.c.iter().enumerate().take(first_art) {
+            let a = p.t.at(pr, j);
+            if a < -WARM_TOL {
+                if spent > bland_after {
+                    pc = j;
+                    break;
+                }
+                let ratio = cj.max(0.0) / -a;
+                if ratio < best - EPS || (ratio < best + EPS && -a > best_mag) {
+                    best = ratio;
+                    best_mag = -a;
+                    pc = j;
+                }
+            }
+        }
+        if pc == usize::MAX {
+            return false; // no pivot: infeasible under this basis
+        }
+        p.t.pivot(pr, pc);
+        *budget -= 1;
+        *iterations += 1;
+        spent += 1;
+    }
+}
+
+/// Phase 1: minimize the sum of artificials from the trivial basis, then
+/// drive any leftover (degenerate) artificial out of the basis.
+fn phase1(p: &mut Prepared, budget: &mut u64, iterations: &mut u64) -> Result<(), SolveError> {
+    let (m, cols, first_art) = (p.t.rows, p.t.cols, p.first_art);
+    if first_art >= cols {
+        return Ok(());
+    }
+    for c in first_art..cols {
+        p.t.c[c] = 1.0;
+    }
+    // Price out the artificial basis columns.
+    for i in 0..m {
+        if p.t.basis[i] >= first_art {
+            for c in 0..cols {
+                let v = p.t.a[i * cols + c];
+                p.t.c[c] -= v;
+            }
+            p.t.obj -= p.t.b[i];
+        }
+    }
+    let before = *budget;
+    p.t.optimize(cols, budget)?;
+    *iterations += before - *budget;
+    let phase1_obj = -p.t.obj;
+    if phase1_obj > 1e-6 {
+        return Err(SolveError::Infeasible);
+    }
+    // Drive any artificial still in the basis out (degenerate rows). A row
+    // with no eligible pivot is redundant: harmless, the artificial stays
+    // at value 0 and can never re-enter (phase 2 excludes it).
+    for r in 0..m {
+        if p.t.basis[r] >= first_art {
+            for c in 0..first_art {
+                if p.t.at(r, c).abs() > EPS {
+                    p.t.pivot(r, c);
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Prices the real objective out over the current basis (the reduced cost
+/// row phase 2 — and the dual repair — work against).
+fn price_phase2(lp: &LinearProgram, p: &mut Prepared) {
+    let (m, cols) = (p.t.rows, p.t.cols);
+    p.t.c = vec![0.0; cols];
+    p.t.obj = 0.0;
+    for v in 0..lp.num_vars() {
+        p.t.c[v] = lp.objective[v];
+    }
+    // Price out the current basis.
+    for i in 0..m {
+        let bc = p.t.basis[i];
+        let cf = p.t.c[bc];
+        if cf.abs() > EPS {
+            for c in 0..cols {
+                let v = p.t.a[i * cols + c];
+                p.t.c[c] -= cf * v;
+            }
+            p.t.c[bc] = 0.0;
+            p.t.obj -= cf * p.t.b[i];
+        }
+    }
+}
+
+/// Phase 2: prices the real objective out over the current basis and
+/// optimizes with artificial columns excluded from entering.
+fn phase2(
+    lp: &LinearProgram,
+    p: &mut Prepared,
+    budget: &mut u64,
+    iterations: &mut u64,
+) -> Result<(), SolveError> {
+    price_phase2(lp, p);
+    let before = *budget;
+    p.t.optimize(p.first_art, budget)?;
+    *iterations += before - *budget;
+    Ok(())
+}
+
 impl LinearProgram {
     /// Solves the program with the two-phase simplex method.
     ///
@@ -197,6 +492,84 @@ impl LinearProgram {
     /// [`SolveError::Unbounded`] if the objective is unbounded below,
     /// [`SolveError::IterationLimit`] if the pivot budget is exhausted.
     pub fn solve(&self) -> Result<Solution, SolveError> {
+        self.solve_warm(None).map(|w| w.solution)
+    }
+
+    /// Solves the program, optionally warm-starting from a [`Basis`]
+    /// recorded by a previous call, and exports the final basis.
+    ///
+    /// With a fitting hint, phase 1 is skipped: the recorded basis is
+    /// re-installed, a dual-simplex repair restores primal feasibility if
+    /// the perturbation drove right-hand sides negative, and phase 2
+    /// re-optimizes from there. `Solution::iterations` counts the repair
+    /// and re-optimization pivots (basis installation is refactorization,
+    /// not search). On any basis invalidation — shape mismatch, singular
+    /// pivot, a stalled repair — the solver transparently falls back to
+    /// the cold two-phase path and reports `warm_used: false`.
+    ///
+    /// # Errors
+    ///
+    /// As [`LinearProgram::solve`]; a usable hint never turns a feasible
+    /// program infeasible (invalid hints are discarded, not trusted).
+    pub fn solve_warm(&self, hint: Option<&Basis>) -> Result<WarmSolve, SolveError> {
+        let n = self.num_vars();
+        let mut p = self.prepare();
+        let mut budget: u64 = 200 * (p.t.rows as u64 + p.t.cols as u64) + 20_000;
+        let mut iterations: u64 = 0;
+
+        let mut warm_used = false;
+        if let Some(h) = hint {
+            if h.fits(n, &p) && install_basis(&mut p, h) {
+                // Re-optimize from the installed basis: price the real
+                // objective, repair primal feasibility with dual pivots
+                // if the rhs drifted negative, then continue primally.
+                price_phase2(self, &mut p);
+                if dual_repair(&mut p, &mut budget, &mut iterations) {
+                    let before = budget;
+                    p.t.optimize(p.first_art, &mut budget)?;
+                    iterations += before - budget;
+                    warm_used = true;
+                }
+            }
+            if !warm_used {
+                // Installation or repair may have dirtied the tableau;
+                // rebuild for the cold path (failed-repair pivots stay
+                // counted — they were genuine work).
+                p = self.prepare();
+            }
+        }
+        if !warm_used {
+            phase1(&mut p, &mut budget, &mut iterations)?;
+            phase2(self, &mut p, &mut budget, &mut iterations)?;
+        }
+
+        let mut values = vec![0.0; n];
+        for r in 0..p.t.rows {
+            if p.t.basis[r] < n {
+                values[p.t.basis[r]] = p.t.b[r].max(0.0);
+            }
+        }
+        let basis = Basis {
+            num_vars: n,
+            num_constraints: p.t.rows,
+            cols: p.t.cols,
+            first_art: p.first_art,
+            rel: p.rel.clone(),
+            basis: p.t.basis.clone(),
+        };
+        Ok(WarmSolve {
+            solution: Solution {
+                objective: -p.t.obj,
+                values,
+                iterations,
+            },
+            basis,
+            warm_used,
+        })
+    }
+
+    /// Lowers the program to standard form with the trivial basis.
+    fn prepare(&self) -> Prepared {
         let n = self.num_vars();
         let m = self.num_constraints();
 
@@ -289,84 +662,7 @@ impl LinearProgram {
             }
         }
 
-        let mut budget: u64 = 200 * (m as u64 + cols as u64) + 20_000;
-        let mut iterations_total: u64 = 0;
-
-        // Phase 1: minimize sum of artificials.
-        if first_art < cols {
-            for c in first_art..cols {
-                t.c[c] = 1.0;
-            }
-            // Price out the artificial basis columns.
-            for i in 0..m {
-                if t.basis[i] >= first_art {
-                    for c in 0..cols {
-                        let v = t.a[i * cols + c];
-                        t.c[c] -= v;
-                    }
-                    t.obj -= t.b[i];
-                }
-            }
-            let before = budget;
-            t.optimize(cols, &mut budget)?;
-            iterations_total += before - budget;
-            let phase1 = -t.obj;
-            if phase1 > 1e-6 {
-                return Err(SolveError::Infeasible);
-            }
-            // Drive any artificial still in the basis out (degenerate rows).
-            for r in 0..m {
-                if t.basis[r] >= first_art {
-                    let mut swapped = false;
-                    for c in 0..first_art {
-                        if t.at(r, c).abs() > EPS {
-                            t.pivot(r, c);
-                            swapped = true;
-                            break;
-                        }
-                    }
-                    if !swapped {
-                        // Redundant row: harmless, keep the artificial at
-                        // value 0; it can never re-enter (excluded below).
-                    }
-                }
-            }
-        }
-
-        // Phase 2: real objective, artificials excluded from entering.
-        t.c = vec![0.0; cols];
-        t.obj = 0.0;
-        for v in 0..n {
-            t.c[v] = self.objective[v];
-        }
-        // Price out the current basis.
-        for i in 0..m {
-            let bc = t.basis[i];
-            let cf = t.c[bc];
-            if cf.abs() > EPS {
-                for c in 0..cols {
-                    let v = t.a[i * cols + c];
-                    t.c[c] -= cf * v;
-                }
-                t.c[bc] = 0.0;
-                t.obj -= cf * t.b[i];
-            }
-        }
-        let before = budget;
-        t.optimize(first_art, &mut budget)?;
-        iterations_total += before - budget;
-
-        let mut values = vec![0.0; n];
-        for r in 0..m {
-            if t.basis[r] < n {
-                values[t.basis[r]] = t.b[r].max(0.0);
-            }
-        }
-        Ok(Solution {
-            objective: -t.obj,
-            values,
-            iterations: iterations_total,
-        })
+        Prepared { t, first_art, rel }
     }
 }
 
@@ -553,6 +849,130 @@ mod tests {
         assert!(text.contains("1 y <= 7"), "{text}");
         assert!(text.contains("0 <= x"), "{text}");
         assert!(text.ends_with("End\n"), "{text}");
+    }
+
+    /// The LB-like min-max program used by the warm-start tests: route
+    /// `total` units across three boxes of capacities 10/20/30, min λ.
+    fn lb_like(total: f64) -> LinearProgram {
+        let mut lp = LinearProgram::new();
+        let t1 = lp.add_var("t1", 0.0);
+        let t2 = lp.add_var("t2", 0.0);
+        let t3 = lp.add_var("t3", 0.0);
+        let lam = lp.add_var("lambda", 1.0);
+        lp.add_constraint(vec![(t1, 1.0), (t2, 1.0), (t3, 1.0)], Eq, total);
+        lp.add_constraint(vec![(t1, 1.0), (lam, -10.0)], Le, 0.0);
+        lp.add_constraint(vec![(t2, 1.0), (lam, -20.0)], Le, 0.0);
+        lp.add_constraint(vec![(t3, 1.0), (lam, -30.0)], Le, 0.0);
+        lp
+    }
+
+    #[test]
+    fn warm_start_on_identical_program_skips_all_pivots() {
+        let lp = lb_like(30.0);
+        let cold = lp.solve_warm(None).unwrap();
+        assert!(!cold.warm_used);
+        let warm = lp.solve_warm(Some(&cold.basis)).unwrap();
+        assert!(warm.warm_used);
+        assert_eq!(warm.solution.iterations, 0, "optimal basis re-optimizes in 0 pivots");
+        assert!(approx(warm.solution.objective, cold.solution.objective));
+        let cols = |b: &Basis| {
+            let mut v = b.basis.clone();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(cols(&warm.basis), cols(&cold.basis), "same basic column set");
+    }
+
+    #[test]
+    fn warm_start_on_perturbed_rhs_uses_fewer_pivots() {
+        let cold = lb_like(30.0).solve_warm(None).unwrap();
+        let perturbed = lb_like(33.0);
+        let warm = perturbed.solve_warm(Some(&cold.basis)).unwrap();
+        let re_cold = perturbed.solve_warm(None).unwrap();
+        assert!(warm.warm_used);
+        assert!(approx(warm.solution.objective, re_cold.solution.objective));
+        assert!(
+            warm.solution.iterations < re_cold.solution.iterations,
+            "warm {} vs cold {}",
+            warm.solution.iterations,
+            re_cold.solution.iterations
+        );
+        assert!(perturbed.is_feasible(&warm.solution.values, 1e-6));
+    }
+
+    #[test]
+    fn warm_start_shape_mismatch_falls_back_to_cold() {
+        let other = {
+            // Same row count, different relations -> fingerprint mismatch.
+            let mut lp = LinearProgram::new();
+            let x = lp.add_var("x", 1.0);
+            lp.add_constraint(vec![(x, 1.0)], Ge, 4.0);
+            lp.solve_warm(None).unwrap()
+        };
+        let lp = lb_like(30.0);
+        let warm = lp.solve_warm(Some(&other.basis)).unwrap();
+        assert!(!warm.warm_used);
+        assert!(approx(warm.solution.objective, 0.5));
+    }
+
+    #[test]
+    fn warm_start_infeasible_hint_basis_falls_back() {
+        // The optimum of the lightly loaded program has slack basic in the
+        // capacity rows; jumping the volume far past every capacity makes
+        // the old basis primal-infeasible for the new rhs — the solver
+        // must notice and still produce the right (cold) answer.
+        let cold = lb_like(6.0).solve_warm(None).unwrap();
+        let heavy = lb_like(59.9);
+        let warm = heavy.solve_warm(Some(&cold.basis)).unwrap();
+        let re_cold = heavy.solve_warm(None).unwrap();
+        assert!(approx(warm.solution.objective, re_cold.solution.objective));
+        assert!(heavy.is_feasible(&warm.solution.values, 1e-6));
+    }
+
+    #[test]
+    fn warm_start_rhs_sign_flip_invalidates_fingerprint() {
+        // min x s.t. -x <= rhs: rhs = 1 keeps Le, rhs = -3 normalizes to
+        // Ge (x >= 3) — same counts, different normalized relations.
+        let build = |rhs: f64| {
+            let mut lp = LinearProgram::new();
+            let x = lp.add_var("x", 1.0);
+            lp.add_constraint(vec![(x, -1.0)], Le, rhs);
+            lp
+        };
+        let hint = build(1.0).solve_warm(None).unwrap();
+        let flipped = build(-3.0);
+        let warm = flipped.solve_warm(Some(&hint.basis)).unwrap();
+        assert!(!warm.warm_used, "sign flip must invalidate the basis shape");
+        assert!(approx(warm.solution.values[0], 3.0));
+    }
+
+    #[test]
+    fn solve_matches_solve_warm_without_hint() {
+        let lp = lb_like(30.0);
+        let a = lp.solve().unwrap();
+        let b = lp.solve_warm(None).unwrap();
+        assert_eq!(a, b.solution);
+    }
+
+    #[test]
+    fn warm_start_chain_across_drifting_traffic_stays_optimal() {
+        // An epoch-loop in miniature: traffic drifts, each epoch re-solves
+        // warm from the previous basis; every answer must match cold.
+        let mut basis = None;
+        for step in 0..12u32 {
+            let total = 12.0 + (step as f64) * 1.7;
+            let lp = lb_like(total);
+            let warm = lp.solve_warm(basis.as_ref()).unwrap();
+            let cold = lp.solve().unwrap();
+            assert!(
+                approx(warm.solution.objective, cold.objective),
+                "epoch {step}: warm {} cold {}",
+                warm.solution.objective,
+                cold.objective
+            );
+            assert!(lp.is_feasible(&warm.solution.values, 1e-6));
+            basis = Some(warm.basis);
+        }
     }
 
     #[test]

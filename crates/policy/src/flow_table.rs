@@ -22,6 +22,12 @@ pub struct FlowEntry {
     /// Set once the proxy received the label-ready control packet; from
     /// then on packets are label-switched instead of tunneled.
     pub label_switched: bool,
+    /// The first-hop middlebox (raw id) this flow was steered to when the
+    /// entry was created. Pinning it here makes live flows *sticky*: a
+    /// later weight update re-steers only new flows, so mid-epoch packets
+    /// never re-classify onto a different box (§III.B flow stickiness,
+    /// preserved across the §III.C re-steer control loop).
+    pub pinned_next: Option<u32>,
     last_seen: SimTime,
 }
 
@@ -183,6 +189,7 @@ impl FlowTable {
                 action: Some((policy, actions)),
                 label: None,
                 label_switched: false,
+                pinned_next: None,
                 last_seen: now,
             },
         );
@@ -197,6 +204,7 @@ impl FlowTable {
                 action: None,
                 label: None,
                 label_switched: false,
+                pinned_next: None,
                 last_seen: now,
             },
         );
@@ -208,6 +216,27 @@ impl FlowTable {
         match self.entries.get_mut(ft) {
             Some(e) => {
                 e.label = Some(label);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reads a flow's pinned next hop without refreshing soft state or
+    /// touching the hit/miss counters. Callers must have resolved the flow
+    /// with [`FlowTable::lookup`] at the current instant first (so an
+    /// expired entry cannot leak a stale pin).
+    pub fn pinned_next(&self, ft: &FiveTuple) -> Option<u32> {
+        self.entries.get(ft).and_then(|e| e.pinned_next)
+    }
+
+    /// Pins the flow's first-hop middlebox so subsequent packets reuse the
+    /// same selection even after a weight update (flow stickiness across
+    /// re-steer epochs). Returns false if the flow is unknown.
+    pub fn pin_next(&mut self, ft: &FiveTuple, next: u32) -> bool {
+        match self.entries.get_mut(ft) {
+            Some(e) => {
+                e.pinned_next = Some(next);
                 true
             }
             None => false,
@@ -412,6 +441,19 @@ mod tests {
         let e = t.lookup(&ft(3), SimTime(1), 1).unwrap();
         assert_eq!(e.label, Some(Label(7)));
         assert!(e.label_switched);
+    }
+
+    #[test]
+    fn pin_next_sticks_to_entry() {
+        let mut t = FlowTable::new(100);
+        t.insert_positive(ft(4), PolicyId(0), ActionList::chain([Firewall]), SimTime(0));
+        assert!(!t.pin_next(&ft(9), 2), "unknown flow cannot be pinned");
+        assert!(t.pin_next(&ft(4), 2));
+        let e = t.lookup(&ft(4), SimTime(1), 1).unwrap();
+        assert_eq!(e.pinned_next, Some(2));
+        // re-inserting the flow clears the pin (fresh decision)
+        t.insert_positive(ft(4), PolicyId(0), ActionList::chain([Firewall]), SimTime(2));
+        assert_eq!(t.lookup(&ft(4), SimTime(3), 1).unwrap().pinned_next, None);
     }
 
     #[test]

@@ -152,6 +152,28 @@ impl Runner {
         self.results.last().unwrap()
     }
 
+    /// Records a directly measured scalar — an algorithmic counter such
+    /// as simplex pivot counts — as a result named `name`, so non-timing
+    /// metrics ride the same JSON merge and gate machinery as timings.
+    /// Every statistic of the result is set to `value`.
+    pub fn record(&mut self, name: &str, value: f64) -> &BenchResult {
+        let result = BenchResult {
+            name: name.to_string(),
+            batch: 1,
+            samples: 1,
+            mean_ns: value,
+            median_ns: value,
+            p95_ns: value,
+            min_ns: value,
+        };
+        eprintln!(
+            "{:<40} value  {value:>12.0}  (recorded counter)",
+            format!("{}/{}", self.group, name)
+        );
+        self.results.push(result);
+        self.results.last().unwrap()
+    }
+
     /// The results recorded so far.
     pub fn results(&self) -> &[BenchResult] {
         &self.results

@@ -163,6 +163,73 @@ fn batched_runs_are_bit_identical_to_scalar() {
     );
 }
 
+/// Mid-experiment middlebox failure and restore: `dropped_failed`
+/// accounting (and every other counter) must be identical between the
+/// scalar and the vector path. Pins the PR-7 run-invalidation fix — a
+/// failure observed inside a batch ends the cached tunnel/label runs, so
+/// packets after a flip never resume a pre-failure decision.
+#[test]
+fn failure_accounting_is_batch_invariant() {
+    let world = World::build(&ExperimentConfig::campus(5));
+    let flows = world.flows(20_000, 7);
+    let specs = to_flow_specs(&flows, 512);
+
+    let run = |batch: usize| {
+        let mut enf = world.controller.enforcement(
+            Steering::HotPotato,
+            None,
+            EnforcementOptions::default(),
+        );
+        enf.sim_mut().set_batch_size(batch);
+        let (healthy, rest) = specs.split_at(specs.len() / 2);
+        for s in healthy {
+            enf.inject_flow(s.flow, s.packets, s.payload);
+        }
+        enf.run();
+        // Fail the busiest box mid-experiment (loads are deterministic,
+        // so every batch size picks the same victim): flows steered
+        // towards it must blackhole there, counted in dropped_failed.
+        let loads = enf.middlebox_loads();
+        let busiest = loads
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, l)| l)
+            .map(|(i, _)| i)
+            .unwrap();
+        let victim = world
+            .controller
+            .deployment()
+            .iter()
+            .nth(busiest)
+            .unwrap()
+            .0;
+        enf.fail_middlebox(victim);
+        for s in rest {
+            enf.inject_flow(s.flow, s.packets, s.payload);
+        }
+        enf.run();
+        // Restore and replay: post-restore traffic must flow again.
+        enf.restore_middlebox(victim);
+        for s in rest {
+            enf.inject_flow(s.flow, s.packets, s.payload);
+        }
+        enf.run();
+        let mut counters = Vec::new();
+        for (id, _) in world.controller.deployment().iter() {
+            counters.push(enf.mbox_state(id).lock().counters);
+        }
+        (enf.sim().stats().clone(), enf.middlebox_loads(), counters)
+    };
+
+    let (stats1, loads1, counters1) = run(1);
+    let (stats256, loads256, counters256) = run(256);
+    let dropped: u64 = counters1.iter().map(|c| c.dropped_failed).sum();
+    assert!(dropped > 0, "scenario must actually exercise the failed path");
+    assert_eq!(stats1, stats256, "sim stats");
+    assert_eq!(loads1, loads256, "middlebox loads");
+    assert_eq!(counters1, counters256, "middlebox counters incl. dropped_failed");
+}
+
 /// The full figure pipeline (LP-weighted load balancing included) is
 /// batch-size invariant: the exact configuration Figures 4–5 and
 /// Table III run, compared scalar vs default batch.
