@@ -67,8 +67,23 @@ SDM_SHARDS=4 SDM_BATCH=256 cargo run --release --offline -p sdm-bench --bin rest
 cmp results/resteer_golden.txt /tmp/sdm_resteer_s4b256.txt
 echo "    re-steer transcript matches the golden at 1/1 and 4/256 shards/batch"
 
-phase "micro-benchmarks -> results/BENCH_pr7.json"
-SDM_BENCH_OUT=results/BENCH_pr7.json cargo bench --workspace --offline
+phase "telemetry zero-perturbation: table3 byte-identical with SDM_TELEMETRY=1"
+SDM_TELEMETRY=1 SDM_SHARDS=1 cargo run --release --offline -p sdm-bench --bin table3_distribution -- \
+    --packets 1000000 > /tmp/sdm_table3_tel.txt
+cmp /tmp/sdm_table3_shards1.txt /tmp/sdm_table3_tel.txt
+echo "    table3 output is byte-identical with telemetry on and off"
+
+phase "telemetry golden: sdm-metrics byte-identical to results/telemetry_golden.json"
+SDM_SHARDS=1 SDM_BATCH=1 cargo run --release --offline -p sdm-bench --bin sdm-metrics \
+    > /tmp/sdm_metrics_s1b1.json
+cmp results/telemetry_golden.json /tmp/sdm_metrics_s1b1.json
+SDM_SHARDS=4 SDM_BATCH=256 cargo run --release --offline -p sdm-bench --bin sdm-metrics \
+    > /tmp/sdm_metrics_s4b256.json
+cmp results/telemetry_golden.json /tmp/sdm_metrics_s4b256.json
+echo "    metrics snapshot matches the golden at 1/1 and 4/256 shards/batch"
+
+phase "micro-benchmarks -> results/BENCH_pr8.json"
+SDM_BENCH_OUT=results/BENCH_pr8.json cargo bench --workspace --offline
 
 phase "bench regression gate (>25% median slowdown fails)"
 cargo run --release --offline -p sdm-bench --bin bench_gate

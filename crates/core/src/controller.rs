@@ -45,6 +45,10 @@ pub struct EnforcementOptions {
     pub mtu: u32,
     /// Lookup structure for the per-device policy tables (§III.D).
     pub classifier: ClassifierKind,
+    /// Hot-path telemetry collection: `Some(b)` forces it on/off, `None`
+    /// defers to the `SDM_TELEMETRY` environment variable
+    /// ([`sdm_telemetry::env_enabled`]).
+    pub telemetry: Option<bool>,
 }
 
 impl Default for EnforcementOptions {
@@ -55,6 +59,7 @@ impl Default for EnforcementOptions {
             label_ttl: 1_000_000,
             mtu: 1500,
             classifier: ClassifierKind::Linear,
+            telemetry: None,
         }
     }
 }
@@ -379,6 +384,9 @@ impl Controller {
             .enumerate()
             .map(|(i, &a)| (a, MiddleboxId(i as u32)))
             .collect();
+        let tel = Arc::new(sdm_telemetry::ShardTelemetry::new(
+            options.telemetry.unwrap_or_else(sdm_telemetry::env_enabled),
+        ));
         let config = Arc::new(RuntimeConfig {
             strategy,
             assignments: self.assignments.clone(),
@@ -392,10 +400,12 @@ impl Controller {
                 .iter()
                 .map(|(_, spec)| spec.functions.clone())
                 .collect(),
+            tel: Arc::clone(&tel),
         });
 
         let mut sim = Simulator::new(&self.plan);
         sim.set_mtu(options.mtu);
+        sim.set_telemetry(Arc::clone(&tel));
         let measurements = Arc::new(Mutex::new(TrafficMatrix::new()));
 
         // Middleboxes first so their device ids (and addresses) are dense
@@ -471,6 +481,7 @@ impl Controller {
             ingress_states,
             measurements,
             config,
+            tel,
             deployment_len: self.deployment.len(),
         }
     }
@@ -486,6 +497,7 @@ pub struct Enforcement {
     ingress_states: Vec<Shared<ProxyState>>,
     measurements: Arc<Mutex<TrafficMatrix>>,
     config: Arc<RuntimeConfig>,
+    tel: Arc<sdm_telemetry::ShardTelemetry>,
     deployment_len: usize,
 }
 
@@ -503,6 +515,29 @@ impl Enforcement {
     /// The runtime configuration in force.
     pub fn config(&self) -> &RuntimeConfig {
         &self.config
+    }
+
+    /// The hot-path telemetry collector shared by this enforcement's
+    /// devices and simulator.
+    pub fn telemetry(&self) -> &sdm_telemetry::ShardTelemetry {
+        &self.tel
+    }
+
+    /// Number of gateway ingress proxies attached.
+    pub fn ingress_count(&self) -> usize {
+        self.ingress_states.len()
+    }
+
+    /// Number of middleboxes attached.
+    pub fn middlebox_count(&self) -> usize {
+        self.deployment_len
+    }
+
+    /// Assembles the full deterministic metrics [`sdm_telemetry::Snapshot`]
+    /// for this enforcement: device-table and steering counters, simulator
+    /// totals and the hot-path histograms.
+    pub fn telemetry_snapshot(&self) -> sdm_telemetry::Snapshot {
+        crate::telemetry::scrape(self)
     }
 
     /// Injects one flow as a single aggregate event of `packets` identical

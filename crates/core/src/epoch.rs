@@ -76,6 +76,28 @@ pub struct EpochReport {
     pub activated: bool,
 }
 
+/// Control-plane telemetry accumulated across the epoch loop's lifetime:
+/// plain counters (no atomics — the loop is single-threaded), exported
+/// into an [`sdm_telemetry::Snapshot`] via [`EpochLoop::export_lp_into`].
+///
+/// All counts are functions of the merged (shard-invariant) traffic
+/// matrix and the deterministic LP, so they are byte-identical across
+/// `SDM_SHARDS` / `SDM_BATCH` settings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpTelemetry {
+    /// LP re-solves that ran cold (no reusable basis).
+    pub solves_cold: u64,
+    /// LP re-solves that warm-started from the previous epoch's basis.
+    pub solves_warm: u64,
+    /// Simplex pivots across all solves (warm solves count their
+    /// dual-repair pivots here).
+    pub pivots: u64,
+    /// Epoch plans rejected by the pre-activation verifier gate.
+    pub rejections: u64,
+    /// Epoch plans that activated (weights swapped into the data plane).
+    pub activations: u64,
+}
+
 /// The controller-side epoch loop driving a set of persistent per-shard
 /// [`Enforcement`]s.
 ///
@@ -112,6 +134,7 @@ pub struct EpochLoop<'a> {
     shards: Vec<Enforcement>,
     cache: LbWarmCache,
     epoch: u32,
+    lp_tel: LpTelemetry,
 }
 
 impl<'a> EpochLoop<'a> {
@@ -140,6 +163,7 @@ impl<'a> EpochLoop<'a> {
             shards,
             cache: LbWarmCache::new(),
             epoch: 0,
+            lp_tel: LpTelemetry::default(),
         }
     }
 
@@ -199,17 +223,25 @@ impl<'a> EpochLoop<'a> {
         report.lambda = lb.lambda;
         report.pivots = lb.iterations;
         report.warm = lb.warm;
+        if lb.warm {
+            self.lp_tel.solves_warm += 1;
+        } else {
+            self.lp_tel.solves_cold += 1;
+        }
+        self.lp_tel.pivots += lb.iterations;
 
         // Pre-activation gate: re-run the static weight checks on every
         // epoch's plan; a rejected plan leaves the old weights in force.
         let verdict = verify_enforcement(self.controller, Some(&weights), &self.options);
         if verdict.has_errors() {
+            self.lp_tel.rejections += 1;
             return Err(EpochError::Rejected(verdict));
         }
 
         for enf in &self.shards {
             enf.update_weights(Some(weights.clone()));
         }
+        self.lp_tel.activations += 1;
         report.activated = true;
         Ok(report)
     }
@@ -269,6 +301,35 @@ impl<'a> EpochLoop<'a> {
     /// The per-shard enforcement simulations (shard-index order).
     pub fn shards(&self) -> &[Enforcement] {
         &self.shards
+    }
+
+    /// Control-plane LP/epoch counters accumulated so far.
+    pub fn lp_telemetry(&self) -> &LpTelemetry {
+        &self.lp_tel
+    }
+
+    /// Adds the control-plane counters to `snap` under the
+    /// `sdm_lp_*` / `sdm_epoch_*` families.
+    pub fn export_lp_into(&self, snap: &mut sdm_telemetry::Snapshot) {
+        use sdm_telemetry::family;
+        // LP_MODES = ["cold", "warm"]
+        snap.add_labeled(family::LP_SOLVES, 0, self.lp_tel.solves_cold);
+        snap.add_labeled(family::LP_SOLVES, 1, self.lp_tel.solves_warm);
+        snap.add(family::LP_PIVOTS, self.lp_tel.pivots);
+        snap.add(family::EPOCH_REJECTIONS, self.lp_tel.rejections);
+        snap.add(family::EPOCH_ACTIVATIONS, self.lp_tel.activations);
+    }
+
+    /// The full telemetry snapshot of the loop: every shard's
+    /// [`Enforcement::telemetry_snapshot`] folded in shard-index order,
+    /// plus the control-plane counters.
+    pub fn telemetry_snapshot(&self) -> sdm_telemetry::Snapshot {
+        let mut snap = sdm_telemetry::Snapshot::new();
+        for enf in &self.shards {
+            snap.merge(&enf.telemetry_snapshot());
+        }
+        self.export_lp_into(&mut snap);
+        snap
     }
 }
 

@@ -136,7 +136,10 @@ impl MiddleboxDevice {
                 // stickiness). `resolve_tunneled` already probed the flow
                 // at this instant, so the pin cannot be stale.
                 let next = match state.flows.pinned_next(ft) {
-                    Some(raw) => MiddleboxId(raw),
+                    Some(raw) => {
+                        self.config.tel.steer_pin_replay(sdm_telemetry::Hop::Middlebox);
+                        MiddleboxId(raw)
+                    }
                     None => {
                         let commodity = self.config.commodity_of(ctx.pkt(pkt));
                         let Some(next) = self.config.select_for_commodity(
@@ -152,6 +155,10 @@ impl MiddleboxDevice {
                             return;
                         };
                         state.flows.pin_next(ft, next.0);
+                        // Unlike the proxy, `pinned_next` was probed live
+                        // just above, so this arm is always a first-time
+                        // pin: the count is batch-invariant as-is.
+                        self.config.tel.steer_decision(sdm_telemetry::Hop::Middlebox);
                         next
                     }
                 };
@@ -492,6 +499,7 @@ mod tests {
             addr_plan: AddressPlan::new(&plan),
             encoding: Default::default(),
             mbox_functions: dep.iter().map(|(_, s)| s.functions.clone()).collect(),
+            tel: Arc::new(sdm_telemetry::ShardTelemetry::new(false)),
         });
         MiddleboxDevice::new(
             MiddleboxId(0),

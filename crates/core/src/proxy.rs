@@ -158,7 +158,10 @@ impl ProxyDevice {
         // flow entry wins: live flows keep their original selection even
         // after the epoch loop swapped in new weights (§III.B stickiness).
         let next = match pinned {
-            Some(raw) => crate::deployment::MiddleboxId(*raw),
+            Some(raw) => {
+                self.config.tel.steer_pin_replay(sdm_telemetry::Hop::Proxy);
+                crate::deployment::MiddleboxId(*raw)
+            }
             None => {
                 let first_fn = actions.first().expect("non-permit chain");
                 let commodity = self.config.commodity_of(ctx.pkt(pkt));
@@ -174,6 +177,14 @@ impl ProxyDevice {
                     ctx.drop_pkt(pkt); // drop: the policy cannot be enforced
                     return;
                 };
+                // A *fresh* selection is one that first pins the flow —
+                // batched run-mates replay the first packet's unpinned
+                // decision tuple and re-derive the same selection, so the
+                // counter keys off the pin transition, which happens
+                // exactly once per flow on every execution path.
+                if self.config.tel.enabled() && state.flows.pinned_next(ft).is_none() {
+                    self.config.tel.steer_decision(sdm_telemetry::Hop::Proxy);
+                }
                 state.flows.pin_next(ft, next.0);
                 next
             }
@@ -289,7 +300,16 @@ impl Device for ProxyDevice {
             };
             state.counters.outbound += weight;
             match &run {
-                Some((key, _)) if *key == ft => state.flows.record_run_hit(weight),
+                // A run-mate's scalar lookup would land on the cached
+                // entry: count the hit — classified by the decision's
+                // negativity, as a real lookup would classify it.
+                Some((key, d)) if *key == ft => {
+                    if d.0.is_none() {
+                        state.flows.record_run_negative_hit(weight);
+                    } else {
+                        state.flows.record_run_hit(weight);
+                    }
+                }
                 _ => {
                     let d = self.probe_flow(&mut state, &ft, ctx.now(), weight);
                     run = Some((ft, d));
@@ -331,6 +351,7 @@ mod tests {
             addr_plan: addr_plan.clone(),
             encoding: Default::default(),
             mbox_functions: dep.iter().map(|(_, s)| s.functions.clone()).collect(),
+            tel: Arc::new(sdm_telemetry::ShardTelemetry::new(false)),
         });
         let proxy = ProxyDevice::new(
             StubId(0),

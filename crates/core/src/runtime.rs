@@ -76,6 +76,9 @@ pub struct RuntimeConfig {
     /// Functions implemented per middlebox (by id); lets proxies emulate
     /// downstream selections when building strict source routes.
     pub mbox_functions: Vec<std::collections::BTreeSet<sdm_policy::NetworkFunction>>,
+    /// Hot-path telemetry collector shared with this shard's simulator
+    /// (disabled by default: every record site is then a single branch).
+    pub tel: Arc<sdm_telemetry::ShardTelemetry>,
 }
 
 impl RuntimeConfig {
@@ -330,6 +333,7 @@ mod tests {
             addr_plan: AddressPlan::new(&plan),
             encoding: SteeringEncoding::IpOverIp,
             mbox_functions: dep.iter().map(|(_, s)| s.functions.clone()).collect(),
+            tel: Arc::new(sdm_telemetry::ShardTelemetry::new(false)),
         }
     }
 

@@ -141,6 +141,11 @@ pub struct ShardedRun {
     pub mbox_counters: Vec<MboxCounters>,
     /// Merged soft-state footprint.
     pub footprint: StateFootprint,
+    /// Merged telemetry snapshot ([`Enforcement::telemetry_snapshot`] per
+    /// shard, folded in shard-index order). All zeros unless telemetry was
+    /// enabled (`SDM_TELEMETRY` / [`EnforcementOptions::telemetry`]) —
+    /// except the scraped table/simulator families, which are always live.
+    pub telemetry: sdm_telemetry::Snapshot,
 }
 
 impl ShardedRun {
@@ -161,6 +166,7 @@ struct ShardSnapshot {
     ingress_counters: Vec<ProxyCounters>,
     mbox_counters: Vec<MboxCounters>,
     footprint: StateFootprint,
+    telemetry: sdm_telemetry::Snapshot,
 }
 
 fn snapshot(controller: &Controller, enf: &Enforcement, events: u64) -> ShardSnapshot {
@@ -217,6 +223,7 @@ fn snapshot(controller: &Controller, enf: &Enforcement, events: u64) -> ShardSna
             mbox_label_entries,
             mbox_flow_stats,
         },
+        telemetry: enf.telemetry_snapshot(),
     }
 }
 
@@ -286,6 +293,7 @@ impl Controller {
             ingress_counters: first.ingress_counters,
             mbox_counters: first.mbox_counters,
             footprint: first.footprint,
+            telemetry: first.telemetry,
         };
         for s in iter {
             run.events += s.events;
@@ -305,6 +313,7 @@ impl Controller {
                 d.merge(v);
             }
             run.footprint.merge(&s.footprint);
+            run.telemetry.merge(&s.telemetry);
         }
         run
     }

@@ -1,0 +1,71 @@
+//! Deterministic metrics scraping: assembles an [`sdm_telemetry::Snapshot`]
+//! from one [`Enforcement`](crate::Enforcement)'s device tables, simulator
+//! totals and hot-path collector.
+//!
+//! Every value scraped here is an additive fold over per-device state, so
+//! the per-shard snapshots produced under `SDM_SHARDS > 1` merge (in shard
+//! index order) to exactly the single-shard snapshot for every family
+//! marked `invariant` in the [`sdm_telemetry::REGISTRY`].
+
+use sdm_policy::FlowTable;
+use sdm_telemetry::{family, Snapshot};
+
+use crate::controller::Enforcement;
+
+/// Device-kind label indices, matching [`sdm_telemetry::DEVICE_KINDS`].
+const KIND_PROXY: usize = 0;
+const KIND_INGRESS: usize = 1;
+const KIND_MBOX: usize = 2;
+
+/// Folds one device's flow-cache counters into the snapshot under its
+/// device-kind label.
+fn scrape_flow_table(snap: &mut Snapshot, kind: usize, flows: &FlowTable) {
+    let stats = flows.stats();
+    snap.add_labeled(family::FLOW_HITS, kind, stats.hits);
+    snap.add_labeled(family::FLOW_MISSES, kind, stats.misses);
+    snap.add_labeled(family::FLOW_NEGATIVE_HITS, kind, stats.negative_hits);
+    snap.add_labeled(family::FLOW_EXPIRED, kind, stats.expired);
+    snap.add_labeled(family::FLOW_SWEEPS, kind, flows.sweeps());
+    snap.add_labeled(family::FLOW_ENTRIES, kind, flows.len() as u64);
+}
+
+/// Assembles the full metrics snapshot for one enforcement simulation.
+///
+/// The walk order is fixed (stub proxies by [`sdm_netsim::StubId`],
+/// ingress proxies by gateway index, middleboxes by
+/// [`crate::MiddleboxId`]) but immaterial: every family is either
+/// order-independent (sums) or dense-indexed by the device itself.
+pub(crate) fn scrape(enf: &Enforcement) -> Snapshot {
+    let mut snap = Snapshot::new();
+
+    for stub in enf.config().addr_plan.stubs() {
+        let st = enf.proxy_state(stub);
+        let st = st.lock();
+        scrape_flow_table(&mut snap, KIND_PROXY, &st.flows);
+        snap.add(family::LABEL_SWITCHED, st.counters.label_switched);
+    }
+    for gi in 0..enf.ingress_count() {
+        let st = enf.ingress_state(gi);
+        let st = st.lock();
+        scrape_flow_table(&mut snap, KIND_INGRESS, &st.flows);
+        snap.add(family::LABEL_SWITCHED, st.counters.label_switched);
+    }
+    for (i, &load) in enf.middlebox_loads().iter().enumerate() {
+        let st = enf.mbox_state(crate::deployment::MiddleboxId(i as u32));
+        let st = st.lock();
+        scrape_flow_table(&mut snap, KIND_MBOX, &st.flows);
+        snap.add(family::LABEL_ENTRIES, st.labels.len() as u64);
+        snap.add(family::LABEL_MISSES, st.counters.label_misses);
+        snap.add_dense(family::MBOX_LOAD, i, load);
+        snap.add_dense(family::MBOX_DROPS, i, st.counters.dropped_failed);
+    }
+
+    let stats = enf.sim().stats();
+    snap.add(family::PACKETS_DELIVERED, stats.delivered);
+    snap.add(family::LINK_HOPS, stats.link_hops);
+    snap.add(family::DROPPED_TTL, stats.dropped_ttl);
+    snap.add(family::TRACE_DROPPED, enf.sim().trace_dropped());
+
+    enf.telemetry().export_into(&mut snap);
+    snap
+}

@@ -443,6 +443,16 @@ pub struct Simulator {
     failed_links: Vec<sdm_topology::LinkId>,
     trace: Option<Vec<TraceEvent>>,
     trace_limit: usize,
+    /// Events discarded after the trace filled up (see
+    /// [`Simulator::trace_dropped`]).
+    trace_dropped: u64,
+    /// Device-arrival trace records deferred by the vector path so they
+    /// interleave with delivery records exactly as the scalar loop emits
+    /// them (see [`Simulator::flush_pending_traces`]).
+    trace_pending: Vec<(PacketId, DeviceId, FiveTuple, u64)>,
+    /// Hot-path telemetry collector (disabled by default; see
+    /// [`Simulator::set_telemetry`]).
+    tel: std::sync::Arc<sdm_telemetry::ShardTelemetry>,
     ecmp: EcmpMode,
     frag_mode: FragmentationMode,
     frag_seq: u64,
@@ -564,6 +574,9 @@ impl Simulator {
             failed_links: Vec::new(),
             trace: None,
             trace_limit: 0,
+            trace_dropped: 0,
+            trace_pending: Vec::new(),
+            tel: std::sync::Arc::new(sdm_telemetry::ShardTelemetry::new(false)),
             ecmp: EcmpMode::Disabled,
             frag_mode: FragmentationMode::CountOnly,
             frag_seq: 0,
@@ -644,15 +657,31 @@ impl Simulator {
     }
 
     /// Enables packet tracing, keeping at most `limit` observations
-    /// (router arrivals, device deliveries, terminal deliveries).
+    /// (router arrivals, device deliveries, terminal deliveries). Resets
+    /// the [`Simulator::trace_dropped`] counter.
     pub fn enable_trace(&mut self, limit: usize) {
         self.trace = Some(Vec::new());
         self.trace_limit = limit;
+        self.trace_dropped = 0;
     }
 
     /// The recorded trace (empty unless tracing was enabled).
     pub fn trace(&self) -> &[TraceEvent] {
         self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// How many trace events were discarded because the trace already
+    /// held `limit` observations — truncation is counted, never silent.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace_dropped
+    }
+
+    /// Installs the hot-path telemetry collector this simulator records
+    /// into (shared with the devices' runtime via `Arc`). The default
+    /// collector is disabled, which costs one predictable branch per
+    /// record site.
+    pub fn set_telemetry(&mut self, tel: std::sync::Arc<sdm_telemetry::ShardTelemetry>) {
+        self.tel = tel;
     }
 
     fn record_trace(&mut self, at: SimTime, location: TraceLocation, flow: FiveTuple, weight: u64) {
@@ -664,6 +693,8 @@ impl Simulator {
                     flow,
                     weight,
                 });
+            } else {
+                self.trace_dropped += 1;
             }
         }
     }
@@ -834,15 +865,15 @@ impl Simulator {
 
     /// Runs until no events remain. Returns the number of events processed.
     ///
-    /// With a batch size above 1 (see [`Simulator::set_batch_size`]) and
-    /// tracing off, this takes the vector execution path; otherwise the
-    /// scalar per-event loop. Tracing forces scalar because a batched
-    /// device's downstream trace records (delivery, router arrival) would
-    /// interleave differently with the batch-mates' device records — every
-    /// counter in [`SimStats`] is order-independent, but the trace is by
-    /// definition an ordered log.
+    /// With a batch size above 1 (see [`Simulator::set_batch_size`]) this
+    /// takes the vector execution path; otherwise the scalar per-event
+    /// loop. Tracing works on both paths and produces the identical
+    /// ordered log: the vector path defers each run-mate's device-arrival
+    /// record and flushes it just before that packet's delivery record
+    /// (or at end of run), reproducing the scalar interleaving — pinned
+    /// by `tests/batching_equivalence.rs`.
     pub fn run_until_idle(&mut self) -> u64 {
-        if self.batch > 1 && self.trace.is_none() {
+        if self.batch > 1 {
             return self.run_batched();
         }
         let mut n = 0;
@@ -879,10 +910,17 @@ impl Simulator {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             n += scratch.len() as u64;
+            self.tel
+                .observe_queue_occupancy((scratch.len() + self.queue.len()) as u64);
             let mut i = 0;
             while i < scratch.len() {
                 match scratch[i] {
                     EventKind::Arrive { node, pkt } => {
+                        if self.trace.is_some() {
+                            let p = self.arena.get(pkt);
+                            let (flow, w) = (p.original, p.weight);
+                            self.record_trace(self.now, TraceLocation::Router(node), flow, w);
+                        }
                         self.route_step(node, pkt);
                         i += 1;
                     }
@@ -906,6 +944,7 @@ impl Simulator {
                             i += 1;
                         }
                         if !ready.is_empty() {
+                            self.tel.observe_run_length(ready.len() as u64);
                             self.dispatch_device_batch(dev, &ready);
                         }
                     }
@@ -933,7 +972,40 @@ impl Simulator {
         if is_control {
             self.stats.control_received += weight;
         }
+        if self.trace.is_some() {
+            let flow = self.arena.get(pkt).original;
+            self.trace_pending.push((pkt, dev, flow, weight));
+        }
         ready.push(pkt);
+    }
+
+    /// Emits deferred device-arrival trace records of the current batched
+    /// run. With `upto = Some(p)` — called when the run delivers `p`
+    /// locally — everything up to and including `p`'s own arrival record
+    /// is emitted first, so the Delivered record lands right behind it,
+    /// exactly as the scalar loop interleaves them. `None` flushes the
+    /// remainder at end of run. A delivered packet that was never part of
+    /// the run (a device-fabricated packet; no in-tree device does this)
+    /// flushes nothing. No-op outside a traced batched run: the pending
+    /// list is only ever filled by [`Simulator::predispatch`] with
+    /// tracing on.
+    fn flush_pending_traces(&mut self, upto: Option<PacketId>) {
+        if self.trace_pending.is_empty() {
+            return;
+        }
+        let end = match upto {
+            Some(p) => match self.trace_pending.iter().position(|&(id, ..)| id == p) {
+                Some(i) => i + 1,
+                None => return,
+            },
+            None => self.trace_pending.len(),
+        };
+        let mut pending = std::mem::take(&mut self.trace_pending);
+        for &(_, dev, flow, w) in &pending[..end] {
+            self.record_trace(self.now, TraceLocation::Device(dev), flow, w);
+        }
+        pending.drain(..end);
+        self.trace_pending = pending;
     }
 
     /// Processes a single event. Returns false when the queue is empty.
@@ -1020,6 +1092,7 @@ impl Simulator {
         slot.device.receive_batch(&mut ctx, pkts);
         self.apply_actions(dev, router, attachment, &mut actions);
         self.actions = actions;
+        self.flush_pending_traces(None);
     }
 
     /// Applies the actions a device buffered during a callback, in
@@ -1046,7 +1119,10 @@ impl Simulator {
                         self.stats.unroutable += self.arena.get(p).weight;
                         self.arena.free(p);
                     }
-                    stub => self.record_delivery(StubId(stub), p),
+                    stub => {
+                        self.flush_pending_traces(Some(p));
+                        self.record_delivery(StubId(stub), p);
+                    }
                 },
                 Action::SetTimer { delay, key } => {
                     let at = self.now.after(delay);
@@ -1690,5 +1766,79 @@ mod tests {
         sim.inject_at_router(plan.edges()[0], ctrl);
         sim.run_until_idle();
         assert_eq!(sim.stats().control_received, 1);
+    }
+
+    #[test]
+    fn trace_truncation_is_counted() {
+        let plan = campus(1);
+        let mut sim = Simulator::new(&plan);
+        sim.enable_trace(3);
+        for i in 0..10u32 {
+            let ft = FiveTuple {
+                src: sim.addresses().host(StubId(i % 10), i),
+                dst: sim.addresses().host(StubId((i + 3) % 10), i),
+                src_port: 1000 + i as u16,
+                dst_port: 80,
+                proto: Protocol::Tcp,
+            };
+            sim.inject_from_stub(StubId(i % 10), Packet::data(ft, 100));
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.trace().len(), 3, "trace capped at its limit");
+        assert!(
+            sim.trace_dropped() > 0,
+            "events past the limit must be counted, not silently dropped"
+        );
+        // re-arming the trace resets the drop counter
+        sim.enable_trace(1_000_000);
+        assert_eq!(sim.trace_dropped(), 0);
+    }
+
+    /// The vector path emits the identical ordered trace log as the
+    /// scalar loop (the cross-device property test lives in
+    /// `tests/batching_equivalence.rs`; this pins the bare engine).
+    #[test]
+    fn batched_trace_equals_scalar_trace() {
+        let run = |batch: usize| {
+            let plan = campus(1);
+            let mut sim = Simulator::new(&plan);
+            sim.set_batch_size(batch);
+            sim.enable_trace(100_000);
+            for i in 0..40u32 {
+                let ft = FiveTuple {
+                    src: sim.addresses().host(StubId(i % 10), i),
+                    dst: sim.addresses().host(StubId((i + 3) % 10), i),
+                    src_port: 1000 + i as u16,
+                    dst_port: 80,
+                    proto: Protocol::Tcp,
+                };
+                sim.inject_from_stub(StubId(i % 10), Packet::data(ft, 900));
+            }
+            sim.run_until_idle();
+            (sim.trace().to_vec(), sim.trace_dropped())
+        };
+        let (scalar, scalar_dropped) = run(1);
+        let (batched, batched_dropped) = run(256);
+        assert!(!scalar.is_empty());
+        assert_eq!(scalar, batched, "trace logs must be identical");
+        assert_eq!(scalar_dropped, batched_dropped);
+    }
+
+    #[test]
+    fn telemetry_records_vector_path_histograms() {
+        let plan = campus(1);
+        let mut sim = Simulator::new(&plan);
+        sim.set_batch_size(256);
+        let tel = std::sync::Arc::new(sdm_telemetry::ShardTelemetry::new(true));
+        sim.set_telemetry(tel.clone());
+        let ft = flow(&sim, StubId(0), StubId(3));
+        sim.inject_from_stub(StubId(0), Packet::data(ft, 500));
+        sim.run_until_idle();
+        let mut snap = sdm_telemetry::Snapshot::new();
+        tel.export_into(&mut snap);
+        assert!(
+            snap.value(sdm_telemetry::family::QUEUE_OCCUPANCY, 0) > 0,
+            "every drained tick batch observes queue occupancy"
+        );
     }
 }

@@ -43,6 +43,9 @@ impl FlowEntry {
 pub struct FlowTableStats {
     /// Weighted lookups that found a live entry.
     pub hits: u64,
+    /// The subset of `hits` that landed on a negative (`⟨f, null⟩`) entry —
+    /// packets spared the policy lookup only to be forwarded untouched.
+    pub negative_hits: u64,
     /// Weighted lookups that found nothing (or only an expired entry).
     pub misses: u64,
     /// Entries dropped by soft-state expiry.
@@ -54,6 +57,7 @@ impl FlowTableStats {
     /// per-shard tables of a flow-sharded run).
     pub fn merge(&mut self, other: &FlowTableStats) {
         self.hits += other.hits;
+        self.negative_hits += other.negative_hits;
         self.misses += other.misses;
         self.expired += other.expired;
     }
@@ -90,6 +94,11 @@ pub struct FlowTable {
     entries: FxHashMap<FiveTuple, FlowEntry>,
     ttl: u64,
     stats: FlowTableStats,
+    /// Completed [`FlowTable::sweep`] calls (not part of
+    /// [`FlowTableStats`]: sweep cadence is an engine-mechanics detail
+    /// that varies with sharding/batching, while the stats struct is
+    /// compared bit-for-bit across those corners).
+    sweeps: u64,
     /// Latest `now` observed, for the monotonicity debug-assert: lookups
     /// use `now - last_seen` with a saturating subtraction, so a clock
     /// that runs backwards would silently read refreshed-in-the-future
@@ -113,6 +122,7 @@ impl FlowTable {
             entries: FxHashMap::default(),
             ttl,
             stats: FlowTableStats::default(),
+            sweeps: 0,
             watermark: SimTime(0),
             sweep_queue: Vec::new(),
         }
@@ -154,6 +164,9 @@ impl FlowTable {
                 // lint:allow(hot-path-panic) — the match arm proved the key present
                 let e = self.entries.get_mut(ft).expect("checked above");
                 e.last_seen = now;
+                if e.action.is_none() {
+                    self.stats.negative_hits += weight;
+                }
                 Some(e)
             }
         }
@@ -172,6 +185,15 @@ impl FlowTable {
     /// hash probe and the action-list clone.
     pub fn record_run_hit(&mut self, weight: u64) {
         self.stats.hits += weight;
+    }
+
+    /// [`FlowTable::record_run_hit`] for run-mates of a *negative*-cached
+    /// flow: counts the hit **and** its negative subset, keeping the
+    /// counters bit-identical to per-packet lookups (which classify each
+    /// hit by the entry they land on).
+    pub fn record_run_negative_hit(&mut self, weight: u64) {
+        self.stats.hits += weight;
+        self.stats.negative_hits += weight;
     }
 
     /// Inserts (or replaces) a positive entry mapping the flow to a policy's
@@ -287,6 +309,7 @@ impl FlowTable {
             self.watermark
         );
         self.watermark = now;
+        self.sweeps += 1;
         if self.sweep_queue.is_empty() {
             self.sweep_queue.extend(self.entries.keys().copied());
         }
@@ -323,15 +346,21 @@ impl FlowTable {
     pub fn stats(&self) -> FlowTableStats {
         self.stats
     }
+
+    /// Completed [`FlowTable::sweep`] calls over this table's lifetime.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
 }
 
 impl fmt::Display for FlowTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "flow-table: {} entries, {} hits, {} misses, {} expired",
+            "flow-table: {} entries, {} hits ({} negative), {} misses, {} expired",
             self.entries.len(),
             self.stats.hits,
+            self.stats.negative_hits,
             self.stats.misses,
             self.stats.expired
         )
@@ -406,7 +435,10 @@ mod tests {
         t.insert_positive(ft(1), PolicyId(3), ActionList::chain([Firewall]), SimTime(0));
         let e = t.lookup(&ft(1), SimTime(10), 5).unwrap();
         assert_eq!(e.action.as_ref().unwrap().0, PolicyId(3));
-        assert_eq!(t.stats(), FlowTableStats { hits: 5, misses: 1, expired: 0 });
+        assert_eq!(
+            t.stats(),
+            FlowTableStats { hits: 5, negative_hits: 0, misses: 1, expired: 0 }
+        );
     }
 
     #[test]
@@ -523,9 +555,35 @@ mod tests {
 
     #[test]
     fn stats_merge_adds_counters() {
-        let mut a = FlowTableStats { hits: 1, misses: 2, expired: 3 };
-        a.merge(&FlowTableStats { hits: 10, misses: 20, expired: 30 });
-        assert_eq!(a, FlowTableStats { hits: 11, misses: 22, expired: 33 });
+        let mut a = FlowTableStats { hits: 1, negative_hits: 1, misses: 2, expired: 3 };
+        a.merge(&FlowTableStats { hits: 10, negative_hits: 5, misses: 20, expired: 30 });
+        assert_eq!(
+            a,
+            FlowTableStats { hits: 11, negative_hits: 6, misses: 22, expired: 33 }
+        );
+    }
+
+    #[test]
+    fn negative_hits_counted_as_subset_of_hits() {
+        let mut t = FlowTable::new(100);
+        t.insert_negative(ft(1), SimTime(0));
+        t.insert_positive(ft(2), PolicyId(0), ActionList::permit(), SimTime(0));
+        assert!(t.lookup(&ft(1), SimTime(1), 4).unwrap().is_negative());
+        assert!(!t.lookup(&ft(2), SimTime(1), 2).unwrap().is_negative());
+        t.record_run_negative_hit(3); // batched run-mates of ft(1)
+        let s = t.stats();
+        assert_eq!(s.hits, 9);
+        assert_eq!(s.negative_hits, 7, "4 looked up + 3 run-mates");
+    }
+
+    #[test]
+    fn sweep_calls_are_counted() {
+        let mut t = FlowTable::new(100);
+        assert_eq!(t.sweeps(), 0);
+        t.insert_positive(ft(1), PolicyId(0), ActionList::permit(), SimTime(0));
+        let _ = t.sweep(SimTime(1), 4);
+        let _ = t.sweep(SimTime(2), 4);
+        assert_eq!(t.sweeps(), 2);
     }
 
     #[test]

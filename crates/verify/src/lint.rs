@@ -45,7 +45,7 @@ pub const RULE_UNSAFE_CODE: &str = "unsafe-code";
 
 /// Crates whose sources form the deterministic data plane: default-hasher
 /// collections are banned here.
-pub const DATA_PLANE_CRATES: &[&str] = &["core", "netsim", "policy", "workload"];
+pub const DATA_PLANE_CRATES: &[&str] = &["core", "netsim", "policy", "telemetry", "workload"];
 
 /// Path suffixes of the packet hot path, where `.unwrap()`/`.expect(` are
 /// flagged.

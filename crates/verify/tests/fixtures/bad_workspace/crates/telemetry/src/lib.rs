@@ -1,0 +1,13 @@
+// Deliberately broken telemetry fixture: a metrics collector that
+// timestamps with the host clock and buckets into a randomly seeded map.
+// Proves the lint rules cover the telemetry crate — real telemetry must
+// be sim-tick based and deterministic. Never compiled.
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+pub fn observe(buckets: &mut HashMap<u64, u64>) {
+    // rule: default-hasher (HashMap above), rule: wall-clock (below)
+    let t = std::time::Instant::now().elapsed().as_nanos() as u64;
+    *buckets.entry(t % 32).or_insert(0) += 1;
+}

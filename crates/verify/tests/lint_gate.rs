@@ -42,6 +42,31 @@ fn fixture_trips_every_rule() {
     );
 }
 
+/// The telemetry crate is covered by the gate: a collector that touches
+/// the host clock or a randomly seeded map must be rejected (PR-8 —
+/// `sdm-telemetry` joined [`sdm_verify::lint::DATA_PLANE_CRATES`]).
+#[test]
+fn telemetry_fixture_trips_wall_clock_and_hasher() {
+    let violations =
+        lint_workspace(&LintConfig::new(fixture_root())).expect("fixture scan succeeds");
+    let telemetry: Vec<_> = violations
+        .iter()
+        .filter(|v| v.file.contains("crates/telemetry/"))
+        .collect();
+    assert!(
+        telemetry
+            .iter()
+            .any(|v| v.rule == sdm_verify::lint::RULE_WALL_CLOCK),
+        "Instant::now in the telemetry fixture must trip wall-clock: {telemetry:?}"
+    );
+    assert!(
+        telemetry
+            .iter()
+            .any(|v| v.rule == sdm_verify::lint::RULE_DEFAULT_HASHER),
+        "HashMap in the telemetry fixture must trip default-hasher: {telemetry:?}"
+    );
+}
+
 #[test]
 fn binary_exits_nonzero_on_fixture() {
     let out = Command::new(env!("CARGO_BIN_EXE_sdm-lint"))

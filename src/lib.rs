@@ -11,6 +11,8 @@
 //! * [`workload`] — workload generation per the paper's evaluation section.
 //! * [`verify`] — static analysis: the enforcement-plan verifier and the
 //!   `sdm-lint` source scanner.
+//! * [`telemetry`] — deterministic metrics registry, per-shard collectors
+//!   and JSON/Prometheus exporters.
 //! * [`util`] — in-tree infrastructure (PRNG, property-testing and bench
 //!   harnesses, JSON, scoped-thread parallel map); keeps the build hermetic.
 //!
@@ -28,6 +30,7 @@ pub use sdm_core as core;
 pub use sdm_lp as lp;
 pub use sdm_netsim as netsim;
 pub use sdm_policy as policy;
+pub use sdm_telemetry as telemetry;
 pub use sdm_topology as topology;
 pub use sdm_util as util;
 pub use sdm_verify as verify;

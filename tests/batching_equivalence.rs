@@ -230,6 +230,54 @@ fn failure_accounting_is_batch_invariant() {
     assert_eq!(counters1, counters256, "middlebox counters incl. dropped_failed");
 }
 
+/// The per-packet trace log is batch-size invariant: the vector path
+/// defers each run-mate's device-arrival record and flushes it just
+/// before that packet's delivery record, reproducing the scalar
+/// interleaving exactly (PR-8; previously tracing forced the scalar
+/// path). Compared event-for-event at batch 1 vs 3 vs 256, and again
+/// under truncation to check the overflow counter.
+#[test]
+fn packet_traces_are_batch_invariant() {
+    let world = World::build(&ExperimentConfig::campus(4));
+    let flows = world.flows(3_000, 9);
+    let specs = to_flow_specs(&flows, 512);
+
+    let run = |batch: usize, limit: usize| {
+        let mut enf = world.controller.enforcement(
+            Steering::HotPotato,
+            None,
+            EnforcementOptions::default(),
+        );
+        enf.sim_mut().set_batch_size(batch);
+        enf.sim_mut().enable_trace(limit);
+        for s in &specs {
+            enf.inject_flow(s.flow, s.packets, s.payload);
+        }
+        enf.run();
+        (enf.sim().trace().to_vec(), enf.sim().trace_dropped())
+    };
+
+    let (scalar, scalar_dropped) = run(1, 1_000_000);
+    assert!(!scalar.is_empty(), "scenario must produce trace events");
+    assert_eq!(scalar_dropped, 0, "limit must not truncate the full log");
+    for batch in [3usize, 256] {
+        let (batched, dropped) = run(batch, 1_000_000);
+        assert_eq!(batched.len(), scalar.len(), "batch {batch}: trace length");
+        assert_eq!(batched, scalar, "batch {batch}: per-packet trace order");
+        assert_eq!(dropped, 0, "batch {batch}: no truncation");
+    }
+
+    // Truncated logs agree too: the same prefix survives and the same
+    // number of events overflows, because the emission order is equal.
+    let limit = scalar.len() / 2;
+    let (s_trunc, s_drop) = run(1, limit);
+    let (b_trunc, b_drop) = run(256, limit);
+    assert_eq!(s_trunc.len(), limit);
+    assert_eq!(s_trunc, b_trunc, "truncated trace prefix");
+    assert_eq!(s_drop, b_drop, "overflow count");
+    assert!(s_drop > 0, "truncation must actually occur");
+}
+
 /// The full figure pipeline (LP-weighted load balancing included) is
 /// batch-size invariant: the exact configuration Figures 4–5 and
 /// Table III run, compared scalar vs default batch.
