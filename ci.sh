@@ -82,10 +82,18 @@ SDM_SHARDS=4 SDM_BATCH=256 cargo run --release --offline -p sdm-bench --bin sdm-
 cmp results/telemetry_golden.json /tmp/sdm_metrics_s4b256.json
 echo "    metrics snapshot matches the golden at 1/1 and 4/256 shards/batch"
 
-phase "micro-benchmarks -> results/BENCH_pr8.json"
-SDM_BENCH_OUT=results/BENCH_pr8.json cargo bench --workspace --offline
+phase "exhaustion-attack determinism: byte-identical at 1/1 and 4/256 shards/batch"
+SDM_SHARDS=1 SDM_BATCH=1 cargo run --release --offline -p sdm-bench --bin exhaustion -- \
+    --flows 50000 > /tmp/sdm_exhaustion_s1b1.txt
+SDM_SHARDS=4 SDM_BATCH=256 cargo run --release --offline -p sdm-bench --bin exhaustion -- \
+    --flows 50000 > /tmp/sdm_exhaustion_s4b256.txt
+cmp /tmp/sdm_exhaustion_s1b1.txt /tmp/sdm_exhaustion_s4b256.txt
+echo "    exhaustion-attack report (incl. neg-cache evictions) is shard/batch-invariant"
 
-phase "bench regression gate (>25% median slowdown fails)"
+phase "micro-benchmarks -> results/BENCH_pr9.json"
+SDM_BENCH_OUT=results/BENCH_pr9.json cargo bench --workspace --offline
+
+phase "bench regression gate (>25% median slowdown fails; table_scale bounds enforced)"
 cargo run --release --offline -p sdm-bench --bin bench_gate
 
 phase_end

@@ -1,13 +1,17 @@
 //! The benchmark regression gate: compares a fresh micro-benchmark result
 //! file against the committed baseline and fails (exit code 1) when any
 //! paired benchmark's median regressed beyond the threshold — unless the
-//! absolute delta sits below the noise floor (`--noise-floor`, default
-//! 50 ns), where single-core timer jitter dwarfs the signal.
+//! absolute delta sits below the applicable noise floor (`--noise-floor`,
+//! default 50 ns globally; repeat with `GROUP=NS` to set per-group
+//! floors), where single-core timer jitter dwarfs the signal. The
+//! `table_scale` group defaults to a 10 µs floor: its big-table numbers
+//! move with the host's memory system, and its real contract is the
+//! dedicated scaling check below, not pairwise nanosecond diffs.
 //!
 //! The fresh file is produced by the bench harness itself, e.g.
 //!
 //! ```sh
-//! SDM_BENCH_OUT=results/BENCH_pr8.json cargo bench --workspace --offline
+//! SDM_BENCH_OUT=results/BENCH_pr9.json cargo bench --workspace --offline
 //! cargo run --release --offline -p sdm-bench --bin bench_gate
 //! ```
 //!
@@ -33,6 +37,13 @@
 //! next to a cold one (see `benches/warm_start.rs`), and the gate fails
 //! when warm-starting stopped saving pivots — an algorithmic property, so
 //! it is enforced on every host.
+//!
+//! A fourth check covers policy-state scaling (`benches/table_scale.rs`,
+//! also enforced on every host): the hot-working-set lookup at 1M entries
+//! must stay within 1.5x of the 10k-entry cost (same keys probed, so the
+//! ratio is structural, not a DRAM artifact), and the recorded
+//! exhaustion-attack counters must show the negative cache holding its
+//! capacity cap. Bytes-per-entry figures are printed alongside.
 //!
 //! `--write-baseline` refuses to overwrite a committed
 //! `results/BENCH_*.json` comparison input unless `--force` is also
@@ -66,13 +77,23 @@ FLAGS:
   --baseline PATH         baseline JSON file
                           (default: results/BENCH_baseline.json)
   --current PATH          fresh JSON file produced via SDM_BENCH_OUT
-                          (default: results/BENCH_pr8.json)
+                          (default: results/BENCH_pr9.json)
   --max-regress PCT       fail when a paired benchmark's median regressed
                           by more than PCT percent (default: 25)
-  --noise-floor NS        ignore paired regressions whose absolute median
+  --noise-floor [GROUP=]NS
+                          ignore paired regressions whose absolute median
                           delta is at most NS nanoseconds — sub-jitter
                           changes on tiny microbenches flap rather than
-                          measure (default: 50)
+                          measure. Bare NS sets the global floor (default
+                          50); GROUP=NS sets a per-group floor and may be
+                          repeated. Built-in per-group default:
+                          table_scale=10000 (big-table medians track the
+                          host memory system; the scaling contract is the
+                          dedicated 1.5x check instead)
+  --max-hot-ratio X       required table_scale lookup_hot_1m over
+                          lookup_hot_10k median ratio — the policy-state
+                          scaling contract, enforced on every host
+                          (default: 1.5)
   --min-shard-speedup X   required sharding/hp_10m_shards1-over-shards4
                           median ratio; enforced only on hosts with >= 4
                           hardware threads (default: 2.0)
@@ -91,7 +112,8 @@ FLAGS:
 EXIT CODES:
   0  gate passed (and baseline updated, if --write-baseline)
   1  a benchmark regressed beyond --max-regress, a speedup target was
-     missed on a >= 4-core host, the warm-start pivot check failed, an
+     missed on a >= 4-core host, the warm-start pivot check failed, the
+     table-scale hot-lookup ratio or negative-cache cap check failed, an
      input file was missing/unparsable, no benchmarks paired between the
      files, --write-baseline targeted a committed results/BENCH_*.json
      without --force, or the baseline could not be written";
@@ -253,6 +275,108 @@ than cold re-solves ({warm:.0} >= {cold:.0})"
     true
 }
 
+/// Noise-floor configuration: a global default plus per-group overrides
+/// (`--noise-floor` is repeatable; bare `NS` sets the global floor,
+/// `GROUP=NS` a per-group one). `table_scale` defaults to 10 µs — see the
+/// module docs.
+struct NoiseFloors {
+    global_ns: f64,
+    per_group: Vec<(String, f64)>,
+}
+
+impl NoiseFloors {
+    fn parse(args: &[String]) -> Result<NoiseFloors, String> {
+        let mut floors = NoiseFloors {
+            global_ns: 50.0,
+            per_group: vec![("table_scale".to_string(), 10_000.0)],
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a != "--noise-floor" {
+                continue;
+            }
+            let v = it
+                .next()
+                .ok_or_else(|| "--noise-floor needs a value".to_string())?;
+            match v.split_once('=') {
+                Some((group, ns)) => {
+                    let ns: f64 = ns
+                        .parse()
+                        .map_err(|_| format!("bad --noise-floor value {v}"))?;
+                    // last flag wins for a repeated group
+                    floors.per_group.retain(|(g, _)| g != group);
+                    floors.per_group.push((group.to_string(), ns));
+                }
+                None => {
+                    floors.global_ns = v
+                        .parse()
+                        .map_err(|_| format!("bad --noise-floor value {v}"))?;
+                }
+            }
+        }
+        Ok(floors)
+    }
+
+    fn for_group(&self, group: &str) -> f64 {
+        self.per_group
+            .iter()
+            .find(|(g, _)| g == group)
+            .map_or(self.global_ns, |(_, ns)| *ns)
+    }
+}
+
+/// Checks the policy-state scaling contract on the `table_scale` group;
+/// returns `false` when the benches are present and a check fails. The
+/// hot-lookup ratio compares the *same* working set probed against 10k-
+/// and 1M-entry tables, so it measures structural cost (probe lengths)
+/// rather than DRAM reach and is enforced on every host. The recorded
+/// exhaustion-attack counters are deterministic.
+fn table_scale_check(current: &Json, max_hot_ratio: f64) -> bool {
+    let (Some(hot_10k), Some(hot_1m)) = (
+        median_for(current, "table_scale", "lookup_hot_10k"),
+        median_for(current, "table_scale", "lookup_hot_1m"),
+    ) else {
+        println!("# table scale: benches not present in current run, skipped");
+        return true;
+    };
+    let mut ok = true;
+    for label in ["10k", "100k", "1m"] {
+        if let Some(b) = median_for(current, "table_scale", &format!("bytes_per_entry_{label}")) {
+            println!("# table_scale bytes/entry at {label:<4} {b:>8.1}");
+        }
+    }
+    let ratio = hot_1m / hot_10k;
+    println!(
+        "# table_scale hot-lookup scaling: {ratio:.2}x from 10k to 1M entries \
+(required <= {max_hot_ratio:.2}x, enforced on every host)"
+    );
+    if ratio > max_hot_ratio {
+        println!(
+            "bench gate FAILED — hot-working-set lookup at 1M entries costs {ratio:.2}x \
+the 10k cost (required <= {max_hot_ratio:.2}x)"
+        );
+        ok = false;
+    }
+    if let (Some(len), Some(cap), Some(ev)) = (
+        median_for(current, "table_scale", "negcache_len_attack"),
+        median_for(current, "table_scale", "negcache_cap_attack"),
+        median_for(current, "table_scale", "negcache_evictions_attack"),
+    ) {
+        println!(
+            "# table_scale exhaustion attack: {len:.0} negative entries live of {cap:.0} cap \
+({ev:.0} evicted)"
+        );
+        if len > cap {
+            println!(
+                "bench gate FAILED — negative cache exceeded its capacity cap under the \
+exhaustion attack ({len:.0} > {cap:.0})"
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -262,7 +386,7 @@ fn main() -> ExitCode {
     let baseline_path = arg_value(&args, "--baseline")
         .unwrap_or_else(|| "results/BENCH_baseline.json".to_string());
     let current_path = arg_value(&args, "--current")
-        .unwrap_or_else(|| "results/BENCH_pr8.json".to_string());
+        .unwrap_or_else(|| "results/BENCH_pr9.json".to_string());
     let max_regress_pct: f64 = arg_value(&args, "--max-regress")
         .and_then(|s| s.parse().ok())
         .unwrap_or(25.0);
@@ -272,9 +396,16 @@ fn main() -> ExitCode {
     let min_batch_speedup: f64 = arg_value(&args, "--min-batch-speedup")
         .and_then(|s| s.parse().ok())
         .unwrap_or(2.0);
-    let noise_floor_ns: f64 = arg_value(&args, "--noise-floor")
+    let max_hot_ratio: f64 = arg_value(&args, "--max-hot-ratio")
         .and_then(|s| s.parse().ok())
-        .unwrap_or(50.0);
+        .unwrap_or(1.5);
+    let noise_floors = match NoiseFloors::parse(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let write_baseline = args.iter().any(|a| a == "--write-baseline");
     let force = args.iter().any(|a| a == "--force");
     let fail_ratio = 1.0 + max_regress_pct / 100.0;
@@ -329,13 +460,15 @@ pass --force to overwrite it"
     let shards_ok = shard_speedup_check(&current, min_shard_speedup);
     let batch_ok = batch_speedup_check(&current, min_batch_speedup);
     let warm_ok = warm_start_check(&current);
+    let scale_ok = table_scale_check(&current, max_hot_ratio);
 
     let mut failures = gate(&deltas, fail_ratio);
     // Sub-noise-floor absolute deltas cannot be measured reliably on this
     // hardware: a 25% regression on a 70 ns microbench is ~18 ns — inside
-    // timer jitter — and would flap the gate.
-    failures.retain(|d| d.new_ns - d.baseline_ns > noise_floor_ns);
-    if failures.is_empty() && shards_ok && batch_ok && warm_ok {
+    // timer jitter — and would flap the gate. The floor applies per group
+    // so heavyweight groups can opt out of nanosecond pairing entirely.
+    failures.retain(|d| d.new_ns - d.baseline_ns > noise_floors.for_group(&d.group));
+    if failures.is_empty() && shards_ok && batch_ok && warm_ok && scale_ok {
         println!("\nbench gate PASSED ({} benchmarks compared)", deltas.len());
         if write_baseline {
             match std::fs::copy(&current_path, &baseline_path) {

@@ -49,6 +49,12 @@ pub struct EnforcementOptions {
     /// defers to the `SDM_TELEMETRY` environment variable
     /// ([`sdm_telemetry::env_enabled`]).
     pub telemetry: Option<bool>,
+    /// Negative-cache sets per flow table (must be a power of two; the cap
+    /// is `neg_cache_sets * `[`sdm_policy::NEG_WAYS`] markers). Bounds the
+    /// memory a flow-table exhaustion attack can pin per device; the
+    /// default ([`sdm_policy::DEFAULT_NEG_SETS`]) is far above legitimate
+    /// negative-entry populations, so eviction engages only under attack.
+    pub neg_cache_sets: usize,
 }
 
 impl Default for EnforcementOptions {
@@ -60,6 +66,7 @@ impl Default for EnforcementOptions {
             mtu: 1500,
             classifier: ClassifierKind::Linear,
             telemetry: None,
+            neg_cache_sets: sdm_policy::DEFAULT_NEG_SETS,
         }
     }
 }
@@ -416,6 +423,7 @@ impl Controller {
             let state: Shared<MboxState> = Arc::new(Mutex::new(MboxState::new(
                 options.flow_ttl,
                 options.label_ttl,
+                options.neg_cache_sets,
             )));
             let device = MiddleboxDevice::new(
                 id,
@@ -436,7 +444,7 @@ impl Controller {
         let mut proxy_states = Vec::with_capacity(self.plan.edges().len());
         for stub in self.addr_plan.stubs() {
             let state: Shared<ProxyState> =
-                Arc::new(Mutex::new(ProxyState::new(options.flow_ttl)));
+                Arc::new(Mutex::new(ProxyState::new(options.flow_ttl, options.neg_cache_sets)));
             let device = ProxyDevice::new(
                 stub,
                 self.addr_plan.subnet(stub),
@@ -460,7 +468,7 @@ impl Controller {
         let mut ingress_states = Vec::with_capacity(self.plan.gateways().len());
         for (gi, &gw) in self.plan.gateways().iter().enumerate() {
             let state: Shared<ProxyState> =
-                Arc::new(Mutex::new(ProxyState::new(options.flow_ttl)));
+                Arc::new(Mutex::new(ProxyState::new(options.flow_ttl, options.neg_cache_sets)));
             let device = IngressProxy::new(
                 gi as u32,
                 sdm_policy::LocalClassifier::new(self.ingress_policies(), options.classifier),

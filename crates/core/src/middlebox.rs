@@ -506,7 +506,7 @@ mod tests {
             functions.iter().copied().collect(),
             LocalClassifier::new(Default::default(), Default::default()),
             config,
-            Arc::new(Mutex::new(MboxState::new(1000, 1000))),
+            Arc::new(Mutex::new(MboxState::new(1000, 1000, sdm_policy::DEFAULT_NEG_SETS))),
         )
     }
 

@@ -358,7 +358,7 @@ mod tests {
             addr_plan.subnet(StubId(0)),
             LocalClassifier::new(Default::default(), Default::default()),
             config,
-            Arc::new(Mutex::new(ProxyState::new(1000))),
+            Arc::new(Mutex::new(ProxyState::new(1000, sdm_policy::DEFAULT_NEG_SETS))),
             Arc::new(Mutex::new(TrafficMatrix::new())),
         );
         let internal = Packet::data(

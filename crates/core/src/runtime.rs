@@ -231,10 +231,12 @@ pub struct ProxyState {
 }
 
 impl ProxyState {
-    /// Fresh state with the given flow-cache ttl.
-    pub fn new(flow_ttl: u64) -> Self {
+    /// Fresh state with the given flow-cache ttl and negative-cache set
+    /// count (`neg_sets`, a power of two — see
+    /// [`sdm_policy::FlowTable::with_negative_sets`]).
+    pub fn new(flow_ttl: u64, neg_sets: usize) -> Self {
         ProxyState {
-            flows: FlowTable::new(flow_ttl),
+            flows: FlowTable::with_negative_sets(flow_ttl, neg_sets),
             labels: LabelAllocator::new(),
             counters: ProxyCounters::default(),
         }
@@ -293,10 +295,11 @@ pub struct MboxState {
 }
 
 impl MboxState {
-    /// Fresh state with the given soft-state ttls.
-    pub fn new(flow_ttl: u64, label_ttl: u64) -> Self {
+    /// Fresh state with the given soft-state ttls and negative-cache set
+    /// count (see [`ProxyState::new`]).
+    pub fn new(flow_ttl: u64, label_ttl: u64, neg_sets: usize) -> Self {
         MboxState {
-            flows: FlowTable::new(flow_ttl),
+            flows: FlowTable::with_negative_sets(flow_ttl, neg_sets),
             labels: LabelTable::new(label_ttl),
             counters: MboxCounters::default(),
             failed: false,

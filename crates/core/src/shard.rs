@@ -95,6 +95,16 @@ pub struct StateFootprint {
     pub mbox_label_entries: Vec<u64>,
     /// Flow-cache counters per middlebox.
     pub mbox_flow_stats: Vec<FlowTableStats>,
+    /// Negative-cache evictions per stub proxy (non-zero only when the
+    /// capped negative cache is under exhaustion pressure; see
+    /// [`sdm_policy::FlowTable::negative_evictions`]). The set-associative
+    /// cache partitions flows by stable hash, so these counts are invariant
+    /// across `SDM_SHARDS` / `SDM_BATCH` like every other footprint field.
+    pub proxy_neg_evictions: Vec<u64>,
+    /// Negative-cache evictions per gateway ingress proxy.
+    pub ingress_neg_evictions: Vec<u64>,
+    /// Negative-cache evictions per middlebox.
+    pub mbox_neg_evictions: Vec<u64>,
 }
 
 impl StateFootprint {
@@ -109,6 +119,9 @@ impl StateFootprint {
         add(&mut self.ingress_flow_entries, &other.ingress_flow_entries);
         add(&mut self.mbox_flow_entries, &other.mbox_flow_entries);
         add(&mut self.mbox_label_entries, &other.mbox_label_entries);
+        add(&mut self.proxy_neg_evictions, &other.proxy_neg_evictions);
+        add(&mut self.ingress_neg_evictions, &other.ingress_neg_evictions);
+        add(&mut self.mbox_neg_evictions, &other.mbox_neg_evictions);
         for (d, s) in self.proxy_flow_stats.iter_mut().zip(&other.proxy_flow_stats) {
             d.merge(s);
         }
@@ -177,27 +190,32 @@ fn snapshot(controller: &Controller, enf: &Enforcement, events: u64) -> ShardSna
     let mut proxy_counters = Vec::with_capacity(stubs);
     let mut proxy_flow_entries = Vec::with_capacity(stubs);
     let mut proxy_flow_stats = Vec::with_capacity(stubs);
+    let mut proxy_neg_evictions = Vec::with_capacity(stubs);
     for stub in controller.addr_plan().stubs() {
         let state = enf.proxy_state(stub);
         let st = state.lock();
         proxy_counters.push(st.counters);
         proxy_flow_entries.push(st.flows.len() as u64);
         proxy_flow_stats.push(st.flows.stats());
+        proxy_neg_evictions.push(st.flows.negative_evictions());
     }
 
     let mut ingress_counters = Vec::with_capacity(gateways);
     let mut ingress_flow_entries = Vec::with_capacity(gateways);
+    let mut ingress_neg_evictions = Vec::with_capacity(gateways);
     for g in 0..gateways {
         let state = enf.ingress_state(g);
         let st = state.lock();
         ingress_counters.push(st.counters);
         ingress_flow_entries.push(st.flows.len() as u64);
+        ingress_neg_evictions.push(st.flows.negative_evictions());
     }
 
     let mut mbox_counters = Vec::with_capacity(mboxes);
     let mut mbox_flow_entries = Vec::with_capacity(mboxes);
     let mut mbox_label_entries = Vec::with_capacity(mboxes);
     let mut mbox_flow_stats = Vec::with_capacity(mboxes);
+    let mut mbox_neg_evictions = Vec::with_capacity(mboxes);
     for (id, _) in controller.deployment().iter() {
         let state = enf.mbox_state(id);
         let st = state.lock();
@@ -205,6 +223,7 @@ fn snapshot(controller: &Controller, enf: &Enforcement, events: u64) -> ShardSna
         mbox_flow_entries.push(st.flows.len() as u64);
         mbox_label_entries.push(st.labels.len() as u64);
         mbox_flow_stats.push(st.flows.stats());
+        mbox_neg_evictions.push(st.flows.negative_evictions());
     }
 
     ShardSnapshot {
@@ -222,6 +241,9 @@ fn snapshot(controller: &Controller, enf: &Enforcement, events: u64) -> ShardSna
             mbox_flow_entries,
             mbox_label_entries,
             mbox_flow_stats,
+            proxy_neg_evictions,
+            ingress_neg_evictions,
+            mbox_neg_evictions,
         },
         telemetry: enf.telemetry_snapshot(),
     }

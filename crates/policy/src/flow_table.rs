@@ -1,7 +1,13 @@
-//! The per-node flow cache of §III.D: a hash table from flow identifier to
+//! The per-node flow cache of §III.D: a table from flow identifier to
 //! action list that spares most packets the multi-field policy lookup, with
 //! soft-state expiry and negative caching, extended with the label fields
 //! of §III.E.
+//!
+//! Since PR 9 the storage layer is the open-addressed [`OaTable`] plus the
+//! capacity-capped [`NegativeCache`] (see [`crate::oa_table`]), and positive
+//! entries hold a 4-byte [`PolicyClassId`] into a per-table [`ClassInterner`]
+//! instead of a cloned action list — SoftCell-style aggregation, so resident
+//! state grows with the number of *distinct policies*, not flows.
 
 use std::fmt;
 
@@ -9,9 +15,86 @@ use sdm_netsim::{FiveTuple, Label, SimTime};
 use sdm_util::FxHashMap;
 
 use crate::action::ActionList;
+use crate::oa_table::{NegativeCache, OaTable, DEFAULT_NEG_SETS};
 use crate::policy::PolicyId;
 
-/// What the cache knows about one flow.
+/// Sentinel for the packed `Option<u32>` fields of [`PosEntry`].
+const NONE_U32: u32 = u32::MAX;
+
+/// Handle to an interned policy class: one distinct `(policy, action list)`
+/// pair a flow can map to. Positive flow entries store this 4-byte id, so a
+/// million flows sharing 40 policies keep 40 action lists resident, not a
+/// million clones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PolicyClassId(pub u32);
+
+/// Interns `(policy, action list)` pairs into dense [`PolicyClassId`]s.
+/// Ids are assigned in first-intern order, so they are deterministic per
+/// table (a pure function of the flow-arrival history).
+#[derive(Debug, Default)]
+pub struct ClassInterner {
+    by_policy: FxHashMap<PolicyId, PolicyClassId>,
+    classes: Vec<(PolicyId, ActionList)>,
+}
+
+impl ClassInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the class id for `policy`, creating it (with a clone of
+    /// `actions`) on first sight. A policy's action list is immutable for
+    /// the lifetime of an enforcement plan, so the id is a faithful alias.
+    pub fn intern(&mut self, policy: PolicyId, actions: &ActionList) -> PolicyClassId {
+        if let Some(id) = self.by_policy.get(&policy) {
+            return *id;
+        }
+        let id = PolicyClassId(self.classes.len() as u32);
+        self.classes.push((policy, actions.clone()));
+        self.by_policy.insert(policy, id);
+        id
+    }
+
+    /// Resolves a class id back to its `(policy, action list)` pair.
+    pub fn resolve(&self, id: PolicyClassId) -> Option<&(PolicyId, ActionList)> {
+        self.classes.get(id.0 as usize)
+    }
+
+    /// Number of distinct classes interned.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Approximate heap bytes held by the interner.
+    pub fn allocated_bytes(&self) -> usize {
+        self.classes.capacity() * std::mem::size_of::<(PolicyId, ActionList)>()
+            + self.by_policy.capacity()
+                * (std::mem::size_of::<PolicyId>() + std::mem::size_of::<PolicyClassId>())
+    }
+}
+
+/// Resident positive entry: 4-byte class handle plus the packed label /
+/// pin / switch fields of §III.E and the soft-state clock.
+#[derive(Debug, Clone, Copy)]
+struct PosEntry {
+    class: PolicyClassId,
+    /// `Label` as u32, `NONE_U32` = unassigned.
+    label: u32,
+    /// Pinned first-hop middlebox raw id, `NONE_U32` = unpinned.
+    pinned: u32,
+    label_switched: bool,
+    last_seen: SimTime,
+}
+
+/// What the cache knows about one flow — the owned view [`FlowTable::lookup`]
+/// materializes from the packed resident entry (the action list is an `Arc`
+/// clone of the interned class, so this stays cheap).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowEntry {
     /// The action list to apply; `None` is the negative-cache marker
@@ -28,7 +111,6 @@ pub struct FlowEntry {
     /// never re-classify onto a different box (§III.B flow stickiness,
     /// preserved across the §III.C re-steer control loop).
     pub pinned_next: Option<u32>,
-    last_seen: SimTime,
 }
 
 impl FlowEntry {
@@ -72,6 +154,12 @@ impl FlowTableStats {
 /// [`FlowTable::purge_expired`] apply the same rule, so a purge followed
 /// by a lookup at the same `now` can never resurrect an entry.
 ///
+/// Positive entries live in an open-addressed slab table that grows with
+/// incremental rehash; negative markers live in a capacity-capped
+/// set-associative cache whose deterministic eviction bounds the memory an
+/// exhaustion attack (millions of one-packet no-policy flows) can pin.
+/// A flow is resident in at most one of the two structures.
+///
 /// # Example
 ///
 /// ```
@@ -91,7 +179,12 @@ impl FlowTableStats {
 /// ```
 #[derive(Debug)]
 pub struct FlowTable {
-    entries: FxHashMap<FiveTuple, FlowEntry>,
+    /// Positive entries (flow -> interned policy class + label fields).
+    pos: OaTable<FiveTuple, PosEntry>,
+    /// Negative markers, capacity-capped (see [`NegativeCache`]).
+    neg: NegativeCache,
+    /// Interned `(policy, action list)` classes referenced by `pos`.
+    classes: ClassInterner,
     ttl: u64,
     stats: FlowTableStats,
     /// Completed [`FlowTable::sweep`] calls (not part of
@@ -104,27 +197,52 @@ pub struct FlowTable {
     /// that runs backwards would silently read refreshed-in-the-future
     /// entries as fresh forever instead of failing loudly.
     watermark: SimTime,
-    /// Pending keys of the current incremental [`FlowTable::sweep`] cycle;
-    /// refilled from the live key set when it runs dry.
-    sweep_queue: Vec<FiveTuple>,
+    /// Resume position of the budgeted [`FlowTable::sweep`] cursor over
+    /// the virtual slot space (positive slab slots, then negative-cache
+    /// slots). Replaces the old key-snapshot queue: no allocation per
+    /// sweep cycle, regardless of table size.
+    sweep_cursor: usize,
 }
 
 impl FlowTable {
     /// Creates an empty table whose entries expire `ttl` ticks after their
-    /// last matching packet.
+    /// last matching packet, with the default negative-cache capacity
+    /// ([`DEFAULT_NEG_SETS`] sets).
     ///
     /// # Panics
     ///
     /// Panics if `ttl == 0`.
     pub fn new(ttl: u64) -> Self {
+        Self::with_negative_sets(ttl, DEFAULT_NEG_SETS)
+    }
+
+    /// [`FlowTable::new`] with an explicit negative-cache set count (the
+    /// cap is `neg_sets * `[`crate::oa_table::NEG_WAYS`] entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttl == 0` or `neg_sets` is not a power of two.
+    pub fn with_negative_sets(ttl: u64, neg_sets: usize) -> Self {
         assert!(ttl > 0, "flow-table ttl must be positive");
         FlowTable {
-            entries: FxHashMap::default(),
+            pos: OaTable::new(),
+            neg: NegativeCache::new(neg_sets),
+            classes: ClassInterner::new(),
             ttl,
             stats: FlowTableStats::default(),
             sweeps: 0,
             watermark: SimTime(0),
-            sweep_queue: Vec::new(),
+            sweep_cursor: 0,
+        }
+    }
+
+    /// Materializes the owned view of a positive entry.
+    fn view(&self, e: &PosEntry) -> FlowEntry {
+        FlowEntry {
+            action: self.classes.resolve(e.class).cloned(),
+            label: if e.label == NONE_U32 { None } else { Some(Label(e.label as u16)) },
+            label_switched: e.label_switched,
+            pinned_next: if e.pinned == NONE_U32 { None } else { Some(e.pinned) },
         }
     }
 
@@ -135,45 +253,70 @@ impl FlowTable {
     ///
     /// Debug builds panic if `now` moves backwards across calls; release
     /// builds saturate, which would otherwise mask the error.
-    pub fn lookup(&mut self, ft: &FiveTuple, now: SimTime, weight: u64) -> Option<&FlowEntry> {
+    pub fn lookup(&mut self, ft: &FiveTuple, now: SimTime, weight: u64) -> Option<FlowEntry> {
         debug_assert!(
             now >= self.watermark,
             "flow-table clock moved backwards: {now:?} < {:?}",
             self.watermark
         );
         self.watermark = now;
-        // Borrow-checker friendly: decide fate first, then reborrow.
-        let fate = match self.entries.get(ft) {
+        // Positive table first (a flow is resident in at most one side).
+        // Decide fate on a shared borrow, then re-borrow to apply it.
+        let fate = match self.pos.get(ft) {
             None => 0u8,
             Some(e) if now.0.saturating_sub(e.last_seen.0) >= self.ttl => 1,
             Some(_) => 2,
         };
         match fate {
-            0 => {
-                self.stats.misses += weight;
-                None
-            }
             1 => {
-                self.entries.remove(ft);
+                self.pos.remove(ft);
+                self.stats.expired += 1;
+                self.stats.misses += weight;
+                return None;
+            }
+            2 => {
+                self.stats.hits += weight;
+                let view = match self.pos.get_mut(ft) {
+                    Some(e) => {
+                        e.last_seen = now;
+                        let e = *e;
+                        self.view(&e)
+                    }
+                    // Unreachable: fate 2 proved the key present.
+                    None => return None,
+                };
+                return Some(view);
+            }
+            _ => {}
+        }
+        // Negative cache.
+        match self.neg.last_seen(ft) {
+            Some(ls) if now.0.saturating_sub(ls.0) >= self.ttl => {
+                self.neg.remove(ft);
                 self.stats.expired += 1;
                 self.stats.misses += weight;
                 None
             }
-            _ => {
+            Some(_) => {
+                self.neg.refresh(ft, now);
                 self.stats.hits += weight;
-                // lint:allow(hot-path-panic) — the match arm proved the key present
-                let e = self.entries.get_mut(ft).expect("checked above");
-                e.last_seen = now;
-                if e.action.is_none() {
-                    self.stats.negative_hits += weight;
-                }
-                Some(e)
+                self.stats.negative_hits += weight;
+                Some(FlowEntry {
+                    action: None,
+                    label: None,
+                    label_switched: false,
+                    pinned_next: None,
+                })
+            }
+            None => {
+                self.stats.misses += weight;
+                None
             }
         }
     }
 
     /// Vector-path hit accounting: counts `weight` packets as cache hits
-    /// *without* probing the map.
+    /// *without* probing the table.
     ///
     /// Only valid when the immediately preceding operation on this table
     /// was a [`FlowTable::lookup`] or insert of the **same flow at the
@@ -197,7 +340,8 @@ impl FlowTable {
     }
 
     /// Inserts (or replaces) a positive entry mapping the flow to a policy's
-    /// action list.
+    /// action list. The list is interned: the resident entry stores a
+    /// 4-byte [`PolicyClassId`], not a clone.
     pub fn insert_positive(
         &mut self,
         ft: FiveTuple,
@@ -205,39 +349,37 @@ impl FlowTable {
         actions: ActionList,
         now: SimTime,
     ) {
-        self.entries.insert(
+        self.neg.remove(&ft);
+        let class = self.classes.intern(policy, &actions);
+        self.pos.insert(
             ft,
-            FlowEntry {
-                action: Some((policy, actions)),
-                label: None,
+            PosEntry {
+                class,
+                label: NONE_U32,
+                pinned: NONE_U32,
                 label_switched: false,
-                pinned_next: None,
                 last_seen: now,
             },
         );
     }
 
     /// Inserts the negative marker `⟨f, null⟩` so later packets of the flow
-    /// skip the policy table entirely (§III.D).
+    /// skip the policy table entirely (§III.D). Subject to the negative
+    /// cache's capacity cap: a full set deterministically evicts its
+    /// stalest marker (an eviction only re-exposes that flow to one policy
+    /// lookup — correctness is unaffected).
     pub fn insert_negative(&mut self, ft: FiveTuple, now: SimTime) {
-        self.entries.insert(
-            ft,
-            FlowEntry {
-                action: None,
-                label: None,
-                label_switched: false,
-                pinned_next: None,
-                last_seen: now,
-            },
-        );
+        self.pos.remove(&ft);
+        self.neg.insert(ft, now);
     }
 
-    /// Attaches a steering label to an existing entry (proxy-side, §III.E).
-    /// Returns false if the flow is unknown.
+    /// Attaches a steering label to an existing *positive* entry
+    /// (proxy-side, §III.E; negative flows never carry labels). Returns
+    /// false if the flow is unknown or negative-cached.
     pub fn set_label(&mut self, ft: &FiveTuple, label: Label) -> bool {
-        match self.entries.get_mut(ft) {
+        match self.pos.get_mut(ft) {
             Some(e) => {
-                e.label = Some(label);
+                e.label = label.0 as u32;
                 true
             }
             None => false,
@@ -249,16 +391,20 @@ impl FlowTable {
     /// with [`FlowTable::lookup`] at the current instant first (so an
     /// expired entry cannot leak a stale pin).
     pub fn pinned_next(&self, ft: &FiveTuple) -> Option<u32> {
-        self.entries.get(ft).and_then(|e| e.pinned_next)
+        self.pos
+            .get(ft)
+            .and_then(|e| if e.pinned == NONE_U32 { None } else { Some(e.pinned) })
     }
 
     /// Pins the flow's first-hop middlebox so subsequent packets reuse the
     /// same selection even after a weight update (flow stickiness across
-    /// re-steer epochs). Returns false if the flow is unknown.
+    /// re-steer epochs). Only positive entries steer, so only they can be
+    /// pinned. Returns false if the flow is unknown or negative-cached.
     pub fn pin_next(&mut self, ft: &FiveTuple, next: u32) -> bool {
-        match self.entries.get_mut(ft) {
+        debug_assert!(next != NONE_U32, "u32::MAX is the unpinned sentinel");
+        match self.pos.get_mut(ft) {
             Some(e) => {
-                e.pinned_next = Some(next);
+                e.pinned = next;
                 true
             }
             None => false,
@@ -266,9 +412,9 @@ impl FlowTable {
     }
 
     /// Flags an entry for label switching after the control packet returned
-    /// (§III.E). Returns false if the flow is unknown.
+    /// (§III.E). Returns false if the flow is unknown or negative-cached.
     pub fn flag_label_switched(&mut self, ft: &FiveTuple) -> bool {
-        match self.entries.get_mut(ft) {
+        match self.pos.get_mut(ft) {
             Some(e) => {
                 e.label_switched = true;
                 true
@@ -282,26 +428,28 @@ impl FlowTable {
     /// an entry whose age reached `ttl` is dropped.
     pub fn purge_expired(&mut self, now: SimTime) -> usize {
         let ttl = self.ttl;
-        let before = self.entries.len();
-        self.entries
-            .retain(|_, e| now.0.saturating_sub(e.last_seen.0) < ttl);
-        let dropped = before - self.entries.len();
+        let dropped = self
+            .pos
+            .retain(|_, e| now.0.saturating_sub(e.last_seen.0) < ttl)
+            + self.neg.purge(|ls| now.0.saturating_sub(ls.0) >= ttl);
         self.stats.expired += dropped as u64;
         dropped
     }
 
-    /// Amortized expiry sweep: examines at most `budget` entries per call,
-    /// resuming where the previous call stopped, and drops those whose age
-    /// reached the ttl (the same boundary as [`FlowTable::lookup`] and
+    /// Amortized expiry sweep: examines at most `budget` slots per call,
+    /// resuming where the previous call stopped, and drops entries whose
+    /// age reached the ttl (the same boundary as [`FlowTable::lookup`] and
     /// [`FlowTable::purge_expired`]). Returns how many were dropped.
     ///
-    /// Unlike `purge_expired` — which walks the *whole* map every call —
-    /// each sweep step costs O(budget), so a device on the per-packet path
-    /// can keep its table tidy without latency spikes: combined with the
-    /// purge-on-lookup that [`FlowTable::lookup`] already performs, a full
-    /// pass over the table completes every `ceil(len / budget)` calls.
-    /// Entries inserted mid-cycle are picked up by the next cycle; stale
-    /// entries are never resurrected (lookup rejects them regardless).
+    /// The cursor walks the virtual slot space — positive slab slots, then
+    /// negative-cache slots — directly, so a sweep cycle is allocation-free
+    /// at any table size (the old implementation re-snapshotted the key set
+    /// each cycle: an O(n) allocation spike at a million entries). Each
+    /// call costs O(budget); combined with the purge-on-lookup that
+    /// [`FlowTable::lookup`] already performs, a full pass completes every
+    /// `ceil(slots / budget)` calls. Entries inserted mid-cycle into
+    /// already-passed slots are picked up by the next cycle; stale entries
+    /// are never resurrected (lookup rejects them regardless).
     pub fn sweep(&mut self, now: SimTime, budget: usize) -> usize {
         debug_assert!(
             now >= self.watermark,
@@ -310,21 +458,31 @@ impl FlowTable {
         );
         self.watermark = now;
         self.sweeps += 1;
-        if self.sweep_queue.is_empty() {
-            self.sweep_queue.extend(self.entries.keys().copied());
-        }
-        let ttl = self.ttl;
+        let pos_slots = self.pos.slot_count();
+        let total = pos_slots + self.neg.slot_count();
         let mut dropped = 0usize;
-        for _ in 0..budget {
-            let Some(key) = self.sweep_queue.pop() else {
-                break;
-            };
-            // The key may have been removed (or refreshed) since the cycle
-            // started; only a still-present, now-stale entry is dropped.
-            if let Some(e) = self.entries.get(&key) {
-                if now.0.saturating_sub(e.last_seen.0) >= ttl {
-                    self.entries.remove(&key);
-                    dropped += 1;
+        if total > 0 {
+            if self.sweep_cursor >= total {
+                self.sweep_cursor = 0;
+            }
+            let ttl = self.ttl;
+            for _ in 0..budget.min(total) {
+                let i = self.sweep_cursor;
+                self.sweep_cursor = (self.sweep_cursor + 1) % total;
+                if i < pos_slots {
+                    let stale_key = match self.pos.slot(i) {
+                        Some((k, e)) if now.0.saturating_sub(e.last_seen.0) >= ttl => Some(*k),
+                        _ => None,
+                    };
+                    if let Some(k) = stale_key {
+                        self.pos.remove(&k);
+                        dropped += 1;
+                    }
+                } else if let Some((k, ls)) = self.neg.slot(i - pos_slots) {
+                    if now.0.saturating_sub(ls.0) >= ttl {
+                        self.neg.remove(&k);
+                        dropped += 1;
+                    }
                 }
             }
         }
@@ -332,14 +490,15 @@ impl FlowTable {
         dropped
     }
 
-    /// Live entry count (including possibly-stale entries not yet purged).
+    /// Live entry count (including possibly-stale entries not yet purged),
+    /// positive and negative sides combined.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.pos.len() + self.neg.len()
     }
 
     /// True if the table holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Hit/miss/expiry counters.
@@ -351,6 +510,34 @@ impl FlowTable {
     pub fn sweeps(&self) -> u64 {
         self.sweeps
     }
+
+    /// Resident negative markers.
+    pub fn negative_len(&self) -> usize {
+        self.neg.len()
+    }
+
+    /// Hard cap on resident negative markers.
+    pub fn negative_capacity(&self) -> usize {
+        self.neg.capacity()
+    }
+
+    /// Negative markers displaced by capacity eviction (an exhaustion
+    /// attack shows up here; invariant across power-of-two shard counts,
+    /// see [`crate::oa_table`]).
+    pub fn negative_evictions(&self) -> u64 {
+        self.neg.evictions()
+    }
+
+    /// Distinct policy classes interned by this table's positive entries.
+    pub fn policy_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Heap bytes held by the table (probe arrays, slab, negative sets,
+    /// interner) — allocation, not occupancy.
+    pub fn allocated_bytes(&self) -> usize {
+        self.pos.allocated_bytes() + self.neg.allocated_bytes() + self.classes.allocated_bytes()
+    }
 }
 
 impl fmt::Display for FlowTable {
@@ -358,7 +545,7 @@ impl fmt::Display for FlowTable {
         write!(
             f,
             "flow-table: {} entries, {} hits ({} negative), {} misses, {} expired",
-            self.entries.len(),
+            self.len(),
             self.stats.hits,
             self.stats.negative_hits,
             self.stats.misses,
@@ -637,6 +824,129 @@ mod tests {
     #[should_panic(expected = "ttl")]
     fn zero_ttl_rejected() {
         let _ = FlowTable::new(0);
+    }
+
+    #[test]
+    fn policy_classes_are_interned_not_cloned() {
+        let mut t = FlowTable::new(100);
+        let actions = ActionList::chain([Firewall, Ids]);
+        for p in 0..1000u16 {
+            // 1000 flows across 3 policies -> 3 resident classes
+            t.insert_positive(
+                ft(p + 1),
+                PolicyId((p % 3) as u32),
+                actions.clone(),
+                SimTime(0),
+            );
+        }
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.policy_classes(), 3);
+        // every flow still resolves to its policy
+        let e = t.lookup(&ft(1), SimTime(1), 1).unwrap();
+        assert_eq!(e.action.unwrap().0, PolicyId(0));
+    }
+
+    #[test]
+    fn negative_side_is_capacity_capped() {
+        // 2 sets x 8 ways = 16 markers max, however many flows attack
+        let mut t = FlowTable::with_negative_sets(1_000_000, 2);
+        for p in 0..5000u16 {
+            t.insert_negative(ft(p + 1), SimTime(p as u64));
+        }
+        assert_eq!(t.negative_capacity(), 16);
+        assert!(t.negative_len() <= 16);
+        assert_eq!(
+            t.negative_evictions(),
+            5000 - t.negative_len() as u64,
+            "every overflow insert evicted exactly one marker"
+        );
+        assert!(t.len() <= 16, "exhaustion attack cannot grow the table");
+    }
+
+    #[test]
+    fn eviction_only_costs_a_relookup_not_correctness() {
+        let mut t = FlowTable::with_negative_sets(1000, 1);
+        // fill one 8-way set, then displace the stalest
+        for p in 0..9u16 {
+            t.insert_negative(ft(p + 1), SimTime(p as u64));
+        }
+        // the evicted flow is a miss again (would re-run the classifier);
+        // the survivors still hit
+        let survivors = (1..=9u16)
+            .filter(|p| t.lookup(&ft(*p), SimTime(50), 1).is_some())
+            .count();
+        assert_eq!(survivors, 8);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn sweep_covers_the_negative_side() {
+        let mut t = FlowTable::new(50);
+        t.insert_positive(ft(1), PolicyId(0), ActionList::permit(), SimTime(0));
+        t.insert_negative(ft(2), SimTime(0));
+        t.insert_negative(ft(3), SimTime(40));
+        // at t=55 the positive entry and ft(2) are stale, ft(3) lives.
+        // one full pass over the virtual slot space:
+        let slots = 1 + DEFAULT_NEG_SETS * crate::oa_table::NEG_WAYS;
+        let mut dropped = 0;
+        let mut budget_left = slots;
+        while budget_left > 0 {
+            let step = budget_left.min(100_000);
+            dropped += t.sweep(SimTime(55), step);
+            budget_left -= step;
+        }
+        assert_eq!(dropped, 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.negative_len(), 1);
+    }
+
+    #[test]
+    fn sweep_never_allocates() {
+        // the old implementation re-snapshotted the key set at each cycle
+        // start — an O(n) allocation spike; the cursor walk must keep the
+        // table's heap footprint bit-stable across arbitrarily many sweeps
+        let mut t = FlowTable::new(50);
+        for p in 0..2000u16 {
+            t.insert_positive(ft(p + 1), PolicyId(0), ActionList::permit(), SimTime(0));
+        }
+        let baseline = t.allocated_bytes();
+        let slots = t.pos.slot_count() + t.neg.slot_count();
+        let mut now = 0u64;
+        for _ in 0..5 {
+            // several full cycles, mixed budgets, entries expiring mid-walk
+            now += 20;
+            let mut left = slots;
+            while left > 0 {
+                let step = left.min(777);
+                let _ = t.sweep(SimTime(now), step);
+                left -= step;
+            }
+            // removals may *release* memory (they retire an in-flight
+            // rehash's old probe array), but a sweep never acquires any
+            assert!(t.allocated_bytes() <= baseline, "sweep must not allocate");
+        }
+        assert!(t.is_empty(), "everything expired across the cycles");
+    }
+
+    #[test]
+    fn set_label_and_pin_are_positive_only() {
+        let mut t = FlowTable::new(100);
+        t.insert_negative(ft(1), SimTime(0));
+        assert!(!t.set_label(&ft(1), Label(3)), "negative flows carry no label");
+        assert!(!t.pin_next(&ft(1), 2), "negative flows are never steered");
+        assert!(!t.flag_label_switched(&ft(1)));
+        assert_eq!(t.pinned_next(&ft(1)), None);
+    }
+
+    #[test]
+    fn allocated_bytes_reported() {
+        let mut t = FlowTable::new(100);
+        for p in 0..100u16 {
+            t.insert_positive(ft(p + 1), PolicyId(0), ActionList::permit(), SimTime(0));
+        }
+        let bytes = t.allocated_bytes();
+        assert!(bytes > 0);
+        assert!(bytes < 100 * 1000, "two orders of magnitude headroom");
     }
 
     #[test]

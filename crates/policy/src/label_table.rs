@@ -2,13 +2,17 @@
 //! middlebox in a chain also stores the flow's final destination `dst`),
 //! keyed by the concatenation of the flow's source address and the
 //! proxy-assigned label.
+//!
+//! Since PR 9 the storage is the open-addressed [`OaTable`] (slab-backed,
+//! incremental rehash, backward-shift deletion) shared with the flow cache
+//! — see [`crate::oa_table`].
 
 use std::fmt;
 
 use sdm_netsim::{Ipv4Addr, Label, SimTime};
-use sdm_util::FxHashMap;
 
 use crate::action::ActionList;
+use crate::oa_table::{OaKey, OaTable};
 use crate::policy::PolicyId;
 
 /// The lookup key `src | l`: source address concatenated with label.
@@ -23,6 +27,25 @@ pub struct LabelKey {
 impl fmt::Display for LabelKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}|{}", self.src, self.label)
+    }
+}
+
+impl OaKey for LabelKey {
+    /// Stable FNV-1a over the 6 key bytes (`src` then `label`, big-endian)
+    /// — the same construction as [`sdm_netsim::FiveTuple::stable_hash`].
+    fn oa_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        for b in self.src.0.to_be_bytes() {
+            eat(b);
+        }
+        for b in self.label.0.to_be_bytes() {
+            eat(b);
+        }
+        h
     }
 }
 
@@ -62,7 +85,7 @@ pub struct LabelEntry {
 /// ```
 #[derive(Debug)]
 pub struct LabelTable {
-    entries: FxHashMap<LabelKey, LabelEntry>,
+    entries: OaTable<LabelKey, LabelEntry>,
     ttl: u64,
 }
 
@@ -75,7 +98,7 @@ impl LabelTable {
     pub fn new(ttl: u64) -> Self {
         assert!(ttl > 0, "label-table ttl must be positive");
         LabelTable {
-            entries: FxHashMap::default(),
+            entries: OaTable::new(),
             ttl,
         }
     }
@@ -116,7 +139,7 @@ impl LabelTable {
             self.entries.remove(key);
             return None;
         }
-        let e = self.entries.get_mut(key).expect("checked above");
+        let e = self.entries.get_mut(key)?;
         e.last_seen = now;
         Some(e)
     }
@@ -134,6 +157,12 @@ impl LabelTable {
     /// True if empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Heap bytes held by the table (probe arrays + slab; allocation, not
+    /// occupancy).
+    pub fn allocated_bytes(&self) -> usize {
+        self.entries.allocated_bytes()
     }
 }
 
@@ -211,6 +240,26 @@ mod tests {
         assert!(t.lookup(&key(3), SimTime(18)).is_some());
         assert!(t.lookup(&key(3), SimTime(40)).is_none()); // expired
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn many_labels_survive_incremental_growth() {
+        // cross several resize thresholds and keep every entry reachable
+        let mut t = LabelTable::new(1_000_000);
+        for l in 0..2000u16 {
+            t.insert(key(l), ActionList::permit(), PolicyId(0), 0, None, None, SimTime(0));
+        }
+        assert_eq!(t.len(), 2000);
+        for l in 0..2000u16 {
+            assert!(t.lookup(&key(l), SimTime(1)).is_some(), "label {l}");
+        }
+        for l in (0..2000u16).step_by(2) {
+            assert!(t.remove(&key(l)).is_some());
+        }
+        assert_eq!(t.len(), 1000);
+        for l in (1..2000u16).step_by(2) {
+            assert!(t.lookup(&key(l), SimTime(2)).is_some());
+        }
     }
 
     #[test]

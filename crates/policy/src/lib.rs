@@ -47,6 +47,7 @@ mod descriptor;
 mod flow_table;
 mod label_table;
 mod local;
+pub mod oa_table;
 mod policy;
 mod text;
 
@@ -54,7 +55,8 @@ pub use action::{ActionList, NetworkFunction};
 pub use classifier::TrieClassifier;
 pub use local::{ClassifierKind, LocalClassifier};
 pub use descriptor::{PortMatch, ProtoMatch, TrafficDescriptor};
-pub use flow_table::{FlowEntry, FlowTable, FlowTableStats, LabelAllocator};
+pub use flow_table::{ClassInterner, FlowEntry, FlowTable, FlowTableStats, LabelAllocator, PolicyClassId};
 pub use label_table::{LabelEntry, LabelKey, LabelTable};
+pub use oa_table::{NegativeCache, OaKey, OaTable, DEFAULT_NEG_SETS, NEG_WAYS};
 pub use policy::{Policy, PolicyId, PolicySet, ProjectedPolicies};
 pub use text::{parse_policies, parse_policy_line, policy_to_line, ParsePolicyError};

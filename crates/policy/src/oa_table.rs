@@ -1,0 +1,932 @@
+//! Cache-optimized open-addressing storage for the per-flow state layer.
+//!
+//! Two structures live here, both built for the million-flow regime the
+//! paper's proxy/middlebox tables reach at ISP scale:
+//!
+//! * [`OaTable`] — a linear-probing open-addressed index over a slab of
+//!   entries. The probe array holds 16-byte `{hash, slot}` buckets (cheap
+//!   to scan, no key/value loads until the 64-bit hash matches), values
+//!   live in a slab with an intrusive free list, deletion uses
+//!   backward-shift (no tombstone accumulation under one-packet-flow
+//!   churn), and resizing is *incremental*: a grow retires the old bucket
+//!   array and migrates a bounded number of buckets per subsequent
+//!   insert/remove, so no single packet ever pays an O(n) rehash.
+//! * [`NegativeCache`] — a set-associative, capacity-capped store for the
+//!   `⟨f, null⟩` negative markers of §III.D. Unlike the positive table it
+//!   must survive adversarial fill (millions of one-packet flows that
+//!   match no policy), so it has a hard capacity and a deterministic
+//!   stalest-entry eviction instead of growing.
+//!
+//! # Determinism
+//!
+//! Every operation is a pure function of the operation sequence: probe
+//! order depends only on key hashes and insertion history, iteration and
+//! [`OaTable::retain`] walk the slab in slot order, and the negative
+//! cache's set index uses the *raw low bits* of [`FiveTuple::stable_hash`].
+//! That last choice is load-bearing: flow sharding assigns a flow to shard
+//! `stable_hash % N`, so with a power-of-two shard count dividing the
+//! (power-of-two) set count, every cache set receives flows of exactly one
+//! shard and each flow lands in the *same set index* no matter how many
+//! shards exist. Per-set state — occupancy, eviction counts — is then a
+//! pure function of that set's flow subsequence in global simulated-time
+//! order, which makes negative-cache lengths and eviction counters
+//! byte-identical across `SDM_SHARDS` 1/4 × `SDM_BATCH` 1/256 (power-of-two
+//! shard counts; the invariance argument does not cover `SDM_SHARDS=3`).
+
+use sdm_netsim::{FiveTuple, SimTime};
+
+/// Keys usable in an [`OaTable`]: cheap to copy and hashed through a
+/// *stable* (platform- and run-independent) 64-bit function, so probe
+/// order — and therefore slab layout — is deterministic.
+pub trait OaKey: Copy + Eq {
+    /// The stable 64-bit hash identifying this key.
+    fn oa_hash(&self) -> u64;
+}
+
+impl OaKey for FiveTuple {
+    fn oa_hash(&self) -> u64 {
+        self.stable_hash()
+    }
+}
+
+/// Sentinel marking an empty bucket.
+const EMPTY: u32 = u32::MAX;
+/// Smallest bucket-array capacity (power of two).
+const MIN_CAP: usize = 8;
+/// Old-table buckets migrated per insert/remove while a rehash is in
+/// flight. A grow doubles capacity, so at least `7C/8` inserts happen
+/// before the *next* grow; migrating 8 buckets each drains the `C` old
+/// buckets with a 7× margin — the drain provably completes long before
+/// another resize can start.
+const MIGRATE_BUDGET: usize = 8;
+
+/// One probe-array cell: the key's full 64-bit hash plus the slab slot of
+/// its entry (`EMPTY` if vacant). Keeping keys and values out of the probe
+/// array means collision scans touch only these 16-byte cells.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    hash: u64,
+    slot: u32,
+}
+
+const VACANT_BUCKET: Bucket = Bucket { hash: 0, slot: EMPTY };
+
+/// Slab cell: an entry, or a link in the intrusive free list.
+#[derive(Debug)]
+enum Slot<K, V> {
+    Occupied(K, V),
+    Vacant(u32),
+}
+
+/// Home bucket via Fibonacci hashing: the multiply spreads entropy into
+/// the high bits, which the shift selects. `cap` must be a power of two
+/// `>= MIN_CAP` (so the shift is `< 64`).
+fn home(hash: u64, cap: usize) -> usize {
+    debug_assert!(cap.is_power_of_two() && cap >= MIN_CAP);
+    let bits = cap.trailing_zeros();
+    (hash.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - bits)) as usize
+}
+
+/// Linear-probe scan for `key`, returning its bucket index. Terminates at
+/// the first empty bucket; the table never fills (grow happens at 7/8
+/// load), so an empty bucket always exists.
+fn probe_find<K: OaKey, V>(
+    buckets: &[Bucket],
+    slab: &[Slot<K, V>],
+    hash: u64,
+    key: &K,
+) -> Option<usize> {
+    if buckets.is_empty() {
+        return None;
+    }
+    let mask = buckets.len() - 1;
+    let mut i = home(hash, buckets.len());
+    loop {
+        let b = buckets[i];
+        if b.slot == EMPTY {
+            return None;
+        }
+        if b.hash == hash {
+            if let Slot::Occupied(k, _) = &slab[b.slot as usize] {
+                if k == key {
+                    return Some(i);
+                }
+            }
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+/// Places a bucket at the first free cell of its probe sequence. The
+/// caller guarantees the array is not full and the key not present.
+fn probe_insert(buckets: &mut [Bucket], b: Bucket) {
+    let mask = buckets.len() - 1;
+    let mut i = home(b.hash, buckets.len());
+    loop {
+        if buckets[i].slot == EMPTY {
+            buckets[i] = b;
+            return;
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+/// Removes the bucket at `i` by backward-shifting: scan the probe run
+/// after `i` until its first empty cell, moving into the hole every entry
+/// whose home lies at or before the hole (cyclically) — i.e. entries for
+/// which the hole is on their own probe path. Entries already at (or
+/// probing from) a later home stay put, but the scan continues past them:
+/// stopping there would strand movable entries further down the run.
+/// Preserves the reachability invariant — every remaining entry has a
+/// gap-free probe path from its home — without tombstones.
+fn backward_shift_remove(buckets: &mut [Bucket], i: usize) -> Bucket {
+    let mask = buckets.len() - 1;
+    let removed = buckets[i];
+    let mut hole = i;
+    let mut j = i;
+    loop {
+        j = (j + 1) & mask;
+        let b = buckets[j];
+        if b.slot == EMPTY {
+            buckets[hole] = VACANT_BUCKET;
+            return removed;
+        }
+        // `b` may take the hole iff the hole sits on `b`'s probe path:
+        // cyclic distance home->j must cover the distance hole->j.
+        let h = home(b.hash, buckets.len());
+        if j.wrapping_sub(h) & mask >= j.wrapping_sub(hole) & mask {
+            buckets[hole] = b;
+            hole = j;
+        }
+    }
+}
+
+/// Open-addressed hash table: linear probing over `{hash, slot}` buckets,
+/// slab-backed values, incremental (budgeted) rehash and backward-shift
+/// deletion. Deterministic: iteration and [`OaTable::retain`] run in slab
+/// order, which is a pure function of the operation history.
+///
+/// # Example
+///
+/// ```
+/// use sdm_policy::{OaKey, OaTable};
+/// use sdm_netsim::{FiveTuple, Protocol};
+///
+/// let ft = FiveTuple {
+///     src: "10.0.0.1".parse().unwrap(), dst: "10.1.0.1".parse().unwrap(),
+///     src_port: 4000, dst_port: 80, proto: Protocol::Tcp,
+/// };
+/// let mut t: OaTable<FiveTuple, u64> = OaTable::new();
+/// assert_eq!(t.insert(ft, 7), None);
+/// assert_eq!(t.get(&ft), Some(&7));
+/// assert_eq!(t.remove(&ft), Some(7));
+/// assert!(t.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct OaTable<K, V> {
+    /// Live probe array (power-of-two length, or empty before first insert).
+    buckets: Vec<Bucket>,
+    /// Retired probe array still being drained by the incremental rehash.
+    old: Vec<Bucket>,
+    /// Next `old` index the drain will examine. Cells below it are empty;
+    /// backward-shift never moves an entry below the cursor, so every
+    /// remaining old entry keeps a gap-free probe path.
+    old_cursor: usize,
+    /// Occupied buckets remaining in `old`.
+    old_live: usize,
+    /// Entry storage; freed cells form an intrusive free list.
+    slab: Vec<Slot<K, V>>,
+    /// Head of the free list (`EMPTY` when none).
+    free_head: u32,
+    /// Live entry count.
+    len: usize,
+}
+
+impl<K: OaKey, V> Default for OaTable<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: OaKey, V> OaTable<K, V> {
+    /// Creates an empty table. No allocation until the first insert.
+    pub fn new() -> Self {
+        OaTable {
+            buckets: Vec::new(),
+            old: Vec::new(),
+            old_cursor: 0,
+            old_live: 0,
+            slab: Vec::new(),
+            free_head: EMPTY,
+            len: 0,
+        }
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current bucket-array capacity (live array only).
+    pub fn capacity(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True while a retired bucket array is still being drained.
+    pub fn rehash_in_flight(&self) -> bool {
+        !self.old.is_empty()
+    }
+
+    /// Heap bytes held by the probe arrays and the slab (spare capacity
+    /// included — this is allocation, not occupancy).
+    pub fn allocated_bytes(&self) -> usize {
+        (self.buckets.capacity() + self.old.capacity()) * std::mem::size_of::<Bucket>()
+            + self.slab.capacity() * std::mem::size_of::<Slot<K, V>>()
+    }
+
+    /// Finds `key`'s bucket: `(in_old, bucket_index)`.
+    fn locate(&self, hash: u64, key: &K) -> Option<(bool, usize)> {
+        if let Some(i) = probe_find(&self.buckets, &self.slab, hash, key) {
+            return Some((false, i));
+        }
+        if !self.old.is_empty() {
+            if let Some(i) = probe_find(&self.old, &self.slab, hash, key) {
+                return Some((true, i));
+            }
+        }
+        None
+    }
+
+    /// Shared-borrow lookup.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let (in_old, i) = self.locate(key.oa_hash(), key)?;
+        let slot = if in_old { self.old[i].slot } else { self.buckets[i].slot };
+        match &self.slab[slot as usize] {
+            Slot::Occupied(_, v) => Some(v),
+            Slot::Vacant(_) => None,
+        }
+    }
+
+    /// Mutable lookup. Does not advance the incremental rehash (reads stay
+    /// read-shaped; migration progresses on inserts and removes).
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let (in_old, i) = self.locate(key.oa_hash(), key)?;
+        let slot = if in_old { self.old[i].slot } else { self.buckets[i].slot };
+        match &mut self.slab[slot as usize] {
+            Slot::Occupied(_, v) => Some(v),
+            Slot::Vacant(_) => None,
+        }
+    }
+
+    /// Inserts `key -> value`, returning the previous value if any.
+    /// Advances the in-flight rehash by at most `MIGRATE_BUDGET` buckets
+    /// first, so resize cost is amortized O(1) per call.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.migrate(MIGRATE_BUDGET);
+        let hash = key.oa_hash();
+        if let Some((in_old, i)) = self.locate(hash, &key) {
+            let slot = if in_old {
+                // Promote the bucket into the live array so this entry
+                // stops paying the two-array probe.
+                let b = backward_shift_remove(&mut self.old, i);
+                self.old_live -= 1;
+                self.drop_old_if_drained();
+                probe_insert(&mut self.buckets, b);
+                b.slot
+            } else {
+                self.buckets[i].slot
+            };
+            return match &mut self.slab[slot as usize] {
+                Slot::Occupied(_, v) => Some(std::mem::replace(v, value)),
+                Slot::Vacant(_) => None,
+            };
+        }
+        self.grow_if_needed();
+        let slot = self.alloc_slot(key, value);
+        probe_insert(&mut self.buckets, Bucket { hash, slot });
+        self.len += 1;
+        None
+    }
+
+    /// Removes `key`, returning its value. Also advances the in-flight
+    /// rehash so delete-heavy phases still finish the drain.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.migrate(MIGRATE_BUDGET);
+        let (in_old, i) = self.locate(key.oa_hash(), key)?;
+        let b = if in_old {
+            let b = backward_shift_remove(&mut self.old, i);
+            self.old_live -= 1;
+            self.drop_old_if_drained();
+            b
+        } else {
+            backward_shift_remove(&mut self.buckets, i)
+        };
+        self.len -= 1;
+        self.free_slot(b.slot)
+    }
+
+    /// Iterates live entries in slab-slot order (deterministic: a pure
+    /// function of the insert/remove history).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slab.iter().filter_map(|s| match s {
+            Slot::Occupied(k, v) => Some((k, v)),
+            Slot::Vacant(_) => None,
+        })
+    }
+
+    /// Keeps only entries for which `keep` returns true, walking the slab
+    /// in slot order. Returns how many entries were removed. Allocation-free.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K, &V) -> bool) -> usize {
+        let mut removed = 0;
+        for s in 0..self.slab.len() {
+            let drop_key = match &self.slab[s] {
+                Slot::Occupied(k, v) if !keep(k, v) => Some(*k),
+                _ => None,
+            };
+            if let Some(k) = drop_key {
+                if self.remove(&k).is_some() {
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Slab length — the bound for [`OaTable::slot`] indices. Vacant slots
+    /// are included; the slab never shrinks, so a cursor over `0..slot_count()`
+    /// is stable across removals.
+    pub fn slot_count(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Peeks slab slot `i` (None if vacant or out of range). Lets callers
+    /// run budgeted cursor sweeps without allocating a key snapshot.
+    pub fn slot(&self, i: usize) -> Option<(&K, &V)> {
+        match self.slab.get(i) {
+            Some(Slot::Occupied(k, v)) => Some((k, v)),
+            _ => None,
+        }
+    }
+
+    /// Advances the incremental rehash by up to `budget` old-array cells
+    /// (each step either skips an empty cell or migrates one entry).
+    fn migrate(&mut self, mut budget: usize) {
+        if self.old.is_empty() {
+            return;
+        }
+        while budget > 0 && self.old_cursor < self.old.len() && self.old_live > 0 {
+            let i = self.old_cursor;
+            if self.old[i].slot == EMPTY {
+                self.old_cursor += 1;
+            } else {
+                // Backward-shift removal refills cell `i` from the rest of
+                // the chain (never moving an entry below the cursor), so
+                // the cursor re-examines `i` next iteration.
+                let b = backward_shift_remove(&mut self.old, i);
+                self.old_live -= 1;
+                probe_insert(&mut self.buckets, b);
+            }
+            budget -= 1;
+        }
+        self.drop_old_if_drained();
+    }
+
+    /// Frees the retired array once its last entry has been migrated or
+    /// removed.
+    fn drop_old_if_drained(&mut self) {
+        if !self.old.is_empty() && self.old_live == 0 {
+            self.old = Vec::new();
+            self.old_cursor = 0;
+        }
+    }
+
+    /// At 7/8 load, retires the current bucket array and installs one of
+    /// twice the capacity. O(capacity) for the fresh allocation's zero-fill
+    /// only; entry migration is paid incrementally by later operations.
+    fn grow_if_needed(&mut self) {
+        let cap = self.buckets.len();
+        if (self.len + 1) * 8 <= cap * 7 {
+            return;
+        }
+        // The budget math guarantees the previous drain finished well
+        // before the next grow; finish it here anyway so at most one
+        // retired array ever exists.
+        while !self.old.is_empty() {
+            self.migrate(self.old.len());
+        }
+        let new_cap = (cap * 2).max(MIN_CAP);
+        let fresh = vec![VACANT_BUCKET; new_cap];
+        self.old = std::mem::replace(&mut self.buckets, fresh);
+        self.old_cursor = 0;
+        self.old_live = self.len;
+    }
+
+    /// Takes a slab cell from the free list (or grows the slab).
+    fn alloc_slot(&mut self, key: K, value: V) -> u32 {
+        if self.free_head != EMPTY {
+            let s = self.free_head;
+            self.free_head = match &self.slab[s as usize] {
+                Slot::Vacant(next) => *next,
+                Slot::Occupied(..) => EMPTY,
+            };
+            self.slab[s as usize] = Slot::Occupied(key, value);
+            s
+        } else {
+            debug_assert!(self.slab.len() < EMPTY as usize, "slab slot space exhausted");
+            self.slab.push(Slot::Occupied(key, value));
+            (self.slab.len() - 1) as u32
+        }
+    }
+
+    /// Returns a slab cell to the free list, yielding its value.
+    fn free_slot(&mut self, slot: u32) -> Option<V> {
+        let cell = std::mem::replace(&mut self.slab[slot as usize], Slot::Vacant(self.free_head));
+        match cell {
+            Slot::Occupied(_, v) => {
+                self.free_head = slot;
+                Some(v)
+            }
+            Slot::Vacant(next) => {
+                // Unreachable by construction; restore the free list.
+                self.slab[slot as usize] = Slot::Vacant(next);
+                debug_assert!(false, "freed a vacant slot");
+                None
+            }
+        }
+    }
+}
+
+/// Associativity of the [`NegativeCache`]: entries per set.
+pub const NEG_WAYS: usize = 8;
+
+/// Default set count per table (so the default capacity is
+/// `DEFAULT_NEG_SETS * NEG_WAYS` negative entries). Far above the
+/// negative-entry population any legitimate workload produces per device,
+/// so eviction engages only under adversarial fill.
+pub const DEFAULT_NEG_SETS: usize = 8192;
+
+/// One resident negative marker.
+#[derive(Debug, Clone, Copy)]
+struct NegWay {
+    key: FiveTuple,
+    last_seen: SimTime,
+}
+
+/// Capacity-capped set-associative store for negative (`⟨f, null⟩`) flow
+/// markers: [`NEG_WAYS`]-way sets, lazily allocated, with deterministic
+/// stalest-entry eviction when a set is full.
+///
+/// The set index is the raw low bits of [`FiveTuple::stable_hash`] — the
+/// same function flow sharding uses — which makes per-set state invariant
+/// across power-of-two `SDM_SHARDS` (see the module docs). An exhaustion
+/// attack therefore costs at most `set_count * NEG_WAYS` resident entries
+/// per table, with evictions counted for observability.
+#[derive(Debug)]
+pub struct NegativeCache {
+    /// Lazily sized to `set_count` on first write; untouched sets stay
+    /// unallocated (`None`), so memory tracks actual occupancy.
+    sets: Vec<Option<Box<[Option<NegWay>; NEG_WAYS]>>>,
+    set_count: usize,
+    len: usize,
+    evicted: u64,
+}
+
+impl NegativeCache {
+    /// Creates a cache of `set_count` sets (`set_count * NEG_WAYS` total
+    /// capacity). No allocation until the first insert.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `set_count` is a power of two (required for the
+    /// shard-invariance argument in the module docs).
+    pub fn new(set_count: usize) -> Self {
+        assert!(
+            set_count.is_power_of_two(),
+            "negative-cache set count must be a power of two"
+        );
+        NegativeCache {
+            sets: Vec::new(),
+            set_count,
+            len: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Raw-low-bit set index (deliberately *not* the Fibonacci mix used by
+    /// [`OaTable`]; see the module docs on shard invariance).
+    fn set_index(&self, ft: &FiveTuple) -> usize {
+        (ft.stable_hash() as usize) & (self.set_count - 1)
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no negative markers are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Hard capacity: `set_count * NEG_WAYS`.
+    pub fn capacity(&self) -> usize {
+        self.set_count * NEG_WAYS
+    }
+
+    /// Number of sets.
+    pub fn set_count(&self) -> usize {
+        self.set_count
+    }
+
+    /// Entries displaced by capacity eviction over this cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Heap bytes held (set directory plus allocated sets).
+    pub fn allocated_bytes(&self) -> usize {
+        let dir = self.sets.capacity() * std::mem::size_of::<Option<Box<[Option<NegWay>; NEG_WAYS]>>>();
+        let boxed = self
+            .sets
+            .iter()
+            .filter(|s| s.is_some())
+            .count()
+            * std::mem::size_of::<[Option<NegWay>; NEG_WAYS]>();
+        dir + boxed
+    }
+
+    /// The marker's last refresh time, if resident. Does not refresh.
+    pub fn last_seen(&self, ft: &FiveTuple) -> Option<SimTime> {
+        let set = self.sets.get(self.set_index(ft))?.as_ref()?;
+        set.iter()
+            .flatten()
+            .find(|w| w.key == *ft)
+            .map(|w| w.last_seen)
+    }
+
+    /// Refreshes a resident marker's soft state. Returns false if absent.
+    pub fn refresh(&mut self, ft: &FiveTuple, now: SimTime) -> bool {
+        let idx = self.set_index(ft);
+        if let Some(Some(set)) = self.sets.get_mut(idx) {
+            for w in set.iter_mut().flatten() {
+                if w.key == *ft {
+                    w.last_seen = now;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Removes a marker. Returns true if it was resident.
+    pub fn remove(&mut self, ft: &FiveTuple) -> bool {
+        let idx = self.set_index(ft);
+        if let Some(Some(set)) = self.sets.get_mut(idx) {
+            for w in set.iter_mut() {
+                if matches!(w, Some(x) if x.key == *ft) {
+                    *w = None;
+                    self.len -= 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Inserts (or refreshes) a marker. When the set is full, the stalest
+    /// way — minimum `last_seen`, lowest way index on ties — is evicted:
+    /// deterministic, and exactly what an attacker's one-packet flows are
+    /// (never refreshed, hence stalest first).
+    pub fn insert(&mut self, ft: FiveTuple, now: SimTime) {
+        if self.sets.is_empty() {
+            self.sets.resize_with(self.set_count, || None);
+        }
+        let idx = self.set_index(&ft);
+        let set = self.sets[idx].get_or_insert_with(|| Box::new([None; NEG_WAYS]));
+        let mut free_way = None;
+        let mut stalest = 0usize;
+        let mut stalest_seen = SimTime(u64::MAX);
+        for (w, cell) in set.iter_mut().enumerate() {
+            match cell {
+                Some(x) if x.key == ft => {
+                    x.last_seen = now;
+                    return;
+                }
+                Some(x) => {
+                    if x.last_seen < stalest_seen {
+                        stalest_seen = x.last_seen;
+                        stalest = w;
+                    }
+                }
+                None => {
+                    if free_way.is_none() {
+                        free_way = Some(w);
+                    }
+                }
+            }
+        }
+        if let Some(w) = free_way {
+            set[w] = Some(NegWay { key: ft, last_seen: now });
+            self.len += 1;
+        } else {
+            set[stalest] = Some(NegWay { key: ft, last_seen: now });
+            self.evicted += 1;
+        }
+    }
+
+    /// Drops every marker for which `stale(last_seen)` is true; returns
+    /// how many were dropped. Walks sets (then ways) in index order.
+    pub fn purge(&mut self, stale: impl Fn(SimTime) -> bool) -> usize {
+        let mut dropped = 0;
+        for set in self.sets.iter_mut().flatten() {
+            for cell in set.iter_mut() {
+                if matches!(cell, Some(x) if stale(x.last_seen)) {
+                    *cell = None;
+                    dropped += 1;
+                }
+            }
+        }
+        self.len -= dropped;
+        dropped
+    }
+
+    /// Virtual slot-space size for budgeted sweeps: `allocated_sets *
+    /// NEG_WAYS`. Zero until the first insert, so never-negative tables
+    /// cost sweep cursors nothing.
+    pub fn slot_count(&self) -> usize {
+        self.sets.len() * NEG_WAYS
+    }
+
+    /// Peeks virtual slot `i` (set `i / NEG_WAYS`, way `i % NEG_WAYS`).
+    pub fn slot(&self, i: usize) -> Option<(FiveTuple, SimTime)> {
+        let set = self.sets.get(i / NEG_WAYS)?.as_ref()?;
+        set[i % NEG_WAYS].map(|w| (w.key, w.last_seen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdm_netsim::Protocol;
+    use sdm_util::FxHashMap;
+
+    /// Key with a controllable hash, to force collision chains.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    struct K {
+        h: u64,
+        tag: u32,
+    }
+    impl OaKey for K {
+        fn oa_hash(&self) -> u64 {
+            self.h
+        }
+    }
+
+    fn ft(sp: u16, dp: u16) -> FiveTuple {
+        FiveTuple {
+            src: "10.0.0.1".parse().unwrap(),
+            dst: "10.1.0.1".parse().unwrap(),
+            src_port: sp,
+            dst_port: dp,
+            proto: Protocol::Tcp,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_replace() {
+        let mut t: OaTable<K, u32> = OaTable::new();
+        let k = K { h: 42, tag: 0 };
+        assert!(t.get(&k).is_none());
+        assert_eq!(t.insert(k, 1), None);
+        assert_eq!(t.get(&k), Some(&1));
+        assert_eq!(t.insert(k, 2), Some(1), "replace returns old value");
+        assert_eq!(t.len(), 1);
+        *t.get_mut(&k).unwrap() += 10;
+        assert_eq!(t.remove(&k), Some(12));
+        assert_eq!(t.remove(&k), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn colliding_keys_coexist_and_backward_shift_keeps_chains_reachable() {
+        let mut t: OaTable<K, u32> = OaTable::new();
+        // Same hash -> same home bucket -> one probe chain.
+        let ks: Vec<K> = (0..5).map(|tag| K { h: 7, tag }).collect();
+        for (i, k) in ks.iter().enumerate() {
+            t.insert(*k, i as u32);
+        }
+        // Remove from the middle of the chain; the rest must stay findable.
+        assert_eq!(t.remove(&ks[2]), Some(2));
+        for (i, k) in ks.iter().enumerate() {
+            if i == 2 {
+                assert!(t.get(k).is_none());
+            } else {
+                assert_eq!(t.get(k), Some(&(i as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_map_through_grows_and_churn() {
+        let mut t: OaTable<K, u64> = OaTable::new();
+        let mut model: FxHashMap<K, u64> = FxHashMap::default();
+        // Deterministic mixed workload crossing several resize thresholds,
+        // with enough removals to exercise migration + free-list reuse.
+        let mut x: u64 = 0x12345678;
+        for step in 0..20_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = K { h: x % 512, tag: (x >> 32) as u32 % 256 };
+            if x % 10 < 7 {
+                assert_eq!(t.insert(k, step), model.insert(k, step), "step {step}");
+            } else {
+                assert_eq!(t.remove(&k), model.remove(&k), "step {step}");
+            }
+            assert_eq!(t.len(), model.len());
+        }
+        for (k, v) in &model {
+            assert_eq!(t.get(k), Some(v));
+        }
+        assert_eq!(t.iter().count(), model.len());
+    }
+
+    #[test]
+    fn rehash_is_incremental_and_drains() {
+        let mut t: OaTable<K, u32> = OaTable::new();
+        for i in 0..100u32 {
+            t.insert(K { h: i as u64 * 1031, tag: i }, i);
+        }
+        // 100 entries over several grows; the drain from the latest grow
+        // may still be in flight, but a handful more operations finish it.
+        for i in 0..100u32 {
+            assert_eq!(t.get(&K { h: i as u64 * 1031, tag: i }), Some(&i));
+        }
+        let mut i = 100u32;
+        while t.rehash_in_flight() {
+            t.insert(K { h: i as u64 * 1031, tag: i }, i);
+            i += 1;
+            assert!(i < 1000, "drain must complete");
+        }
+        assert_eq!(t.len() as u32, i);
+    }
+
+    #[test]
+    fn iteration_is_slab_ordered_and_deterministic() {
+        let build = || {
+            let mut t: OaTable<K, u32> = OaTable::new();
+            for i in 0..50u32 {
+                t.insert(K { h: (i as u64) * 977, tag: i }, i);
+            }
+            t.remove(&K { h: 10 * 977, tag: 10 });
+            t.remove(&K { h: 20 * 977, tag: 20 });
+            t.insert(K { h: 999_999, tag: 99 }, 99); // reuses freed slot 20
+            t
+        };
+        let a: Vec<(K, u32)> = build().iter().map(|(k, v)| (*k, *v)).collect();
+        let b: Vec<(K, u32)> = build().iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(a, b, "same history -> same slab order");
+        // Freed slots are reused LIFO: the later insert sits where tag 20
+        // was (collected index 19 — the vacant slot 10 is skipped).
+        assert_eq!(a[19].1, 99);
+    }
+
+    #[test]
+    fn retain_removes_and_counts_in_slot_order() {
+        let mut t: OaTable<K, u32> = OaTable::new();
+        for i in 0..30u32 {
+            t.insert(K { h: i as u64, tag: i }, i);
+        }
+        let removed = t.retain(|_, v| v % 3 != 0);
+        assert_eq!(removed, 10);
+        assert_eq!(t.len(), 20);
+        assert!(t.iter().all(|(_, v)| v % 3 != 0));
+    }
+
+    #[test]
+    fn slot_cursor_sees_every_entry() {
+        let mut t: OaTable<K, u32> = OaTable::new();
+        for i in 0..17u32 {
+            t.insert(K { h: i as u64 * 3, tag: i }, i);
+        }
+        let mut seen = 0;
+        for i in 0..t.slot_count() {
+            if t.slot(i).is_some() {
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 17);
+    }
+
+    #[test]
+    fn allocated_bytes_tracks_capacity() {
+        let mut t: OaTable<K, u64> = OaTable::new();
+        assert_eq!(t.allocated_bytes(), 0);
+        for i in 0..1000u64 {
+            t.insert(K { h: i.wrapping_mul(0x9E3779B9), tag: i as u32 }, i);
+        }
+        let bytes = t.allocated_bytes();
+        assert!(bytes > 0);
+        // Sanity bound: well under 200 bytes/entry for a u64 payload.
+        assert!(bytes < 1000 * 200, "{bytes} bytes for 1000 entries");
+    }
+
+    #[test]
+    fn negative_cache_caps_and_evicts_stalest() {
+        let mut c = NegativeCache::new(1); // one 8-way set: everything collides
+        for i in 0..NEG_WAYS as u16 {
+            c.insert(ft(i + 1, 80), SimTime(i as u64));
+        }
+        assert_eq!(c.len(), NEG_WAYS);
+        assert_eq!(c.evictions(), 0);
+        // Refresh the stalest so the *second*-stalest is evicted next.
+        assert!(c.refresh(&ft(1, 80), SimTime(100)));
+        c.insert(ft(200, 80), SimTime(101));
+        assert_eq!(c.len(), NEG_WAYS, "capacity is a hard cap");
+        assert_eq!(c.evictions(), 1);
+        assert!(c.last_seen(&ft(2, 80)).is_none(), "stalest way evicted");
+        assert!(c.last_seen(&ft(1, 80)).is_some(), "refreshed way survives");
+        assert!(c.last_seen(&ft(200, 80)).is_some());
+    }
+
+    #[test]
+    fn negative_cache_insert_refreshes_existing() {
+        let mut c = NegativeCache::new(4);
+        c.insert(ft(1, 80), SimTime(0));
+        c.insert(ft(1, 80), SimTime(50));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.last_seen(&ft(1, 80)), Some(SimTime(50)));
+    }
+
+    #[test]
+    fn negative_cache_remove_and_purge() {
+        let mut c = NegativeCache::new(16);
+        for i in 0..10u16 {
+            c.insert(ft(i + 1, 80), SimTime(i as u64));
+        }
+        assert!(c.remove(&ft(1, 80)));
+        assert!(!c.remove(&ft(1, 80)));
+        assert_eq!(c.len(), 9);
+        let dropped = c.purge(|ls| ls.0 < 5);
+        assert_eq!(dropped, 4, "last_seen 1..=4 purged (0 was removed)");
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn negative_cache_is_lazy() {
+        let c = NegativeCache::new(DEFAULT_NEG_SETS);
+        assert_eq!(c.allocated_bytes(), 0);
+        assert_eq!(c.slot_count(), 0, "no virtual slots before first insert");
+        let mut c = c;
+        c.insert(ft(1, 80), SimTime(0));
+        assert_eq!(c.slot_count(), DEFAULT_NEG_SETS * NEG_WAYS);
+        // One boxed set plus the directory; far below full allocation.
+        assert!(c.allocated_bytes() < DEFAULT_NEG_SETS * 64);
+    }
+
+    #[test]
+    fn negative_cache_set_index_uses_raw_low_bits() {
+        // The shard-invariance argument requires set == stable_hash % sets.
+        let c = NegativeCache::new(64);
+        let f = ft(123, 456);
+        assert_eq!(c.set_index(&f), (f.stable_hash() as usize) & 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn negative_cache_rejects_non_pow2() {
+        let _ = NegativeCache::new(12);
+    }
+
+    #[test]
+    fn negative_cache_shard_partition_invariance() {
+        // Splitting the same flow sequence across N=4 "shard" caches (by
+        // stable_hash % 4) must reproduce the single-cache per-flow state
+        // and total evictions, because 4 divides the set count.
+        let flows: Vec<FiveTuple> = (0..2000u32)
+            .map(|i| ft((i % 500 + 1) as u16, (i / 500 + 1) as u16))
+            .collect();
+        let mut single = NegativeCache::new(8);
+        let mut sharded: Vec<NegativeCache> = (0..4).map(|_| NegativeCache::new(8)).collect();
+        for (i, f) in flows.iter().enumerate() {
+            let now = SimTime(i as u64);
+            single.insert(*f, now);
+            sharded[(f.stable_hash() % 4) as usize].insert(*f, now);
+        }
+        assert_eq!(
+            single.len(),
+            sharded.iter().map(|c| c.len()).sum::<usize>()
+        );
+        assert_eq!(
+            single.evictions(),
+            sharded.iter().map(|c| c.evictions()).sum::<u64>()
+        );
+        for f in &flows {
+            let shard = &sharded[(f.stable_hash() % 4) as usize];
+            assert_eq!(single.last_seen(f), shard.last_seen(f));
+        }
+    }
+}

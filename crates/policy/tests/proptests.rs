@@ -6,14 +6,14 @@
 //! (policy sets, packets) are rebuilt deterministically from the seed
 //! inside the property, so shrinking reduces the instance dimensions.
 
-use sdm_netsim::{FiveTuple, Ipv4Addr, Prefix, Protocol, SimTime};
+use sdm_netsim::{FiveTuple, Ipv4Addr, Label, Prefix, Protocol, SimTime};
 use sdm_policy::{
-    ActionList, FlowTable, NetworkFunction, Policy, PolicyId, PolicySet, PortMatch,
-    TrafficDescriptor, TrieClassifier,
+    ActionList, FlowEntry, FlowTable, FlowTableStats, NetworkFunction, Policy, PolicyId,
+    PolicySet, PortMatch, TrafficDescriptor, TrieClassifier,
 };
 use sdm_util::prop::{check, Config};
 use sdm_util::rng::StdRng;
-use sdm_util::{prop_assert, prop_assert_eq};
+use sdm_util::{prop_assert, prop_assert_eq, FxHashMap};
 
 fn gen_prefix(rng: &mut StdRng) -> Prefix {
     Prefix::new(Ipv4Addr(rng.next_u32()), rng.gen_range(0u8..=32))
@@ -225,6 +225,480 @@ fn shadowed_policies_never_fire() {
                 if let Some((id, _)) = set.first_match(ft) {
                     prop_assert!(!shadowed.contains(&id), "shadowed {id} fired for {ft}");
                 }
+            }
+            Ok(())
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Flow-table model equivalence (PR 9)
+//
+// The open-addressed storage layer replaced two `FxHashMap`s. The reference
+// model below *is* that old implementation — plain maps with the documented
+// fate logic — and the properties drive both through random op sequences,
+// comparing every observable (lookup views, mutator returns, purge counts,
+// stats, len) after every step. Shrinking reduces `(n_keys, n_ops, ttl,
+// seed)`, so a failure reports a minimal op sequence.
+// ---------------------------------------------------------------------------
+
+/// The action list a generated policy id maps to — a pure function, so the
+/// table and the model intern identical classes.
+fn actions_for(policy: u32) -> ActionList {
+    ActionList::chain(
+        (0..=(policy as usize % 3))
+            .map(|i| NetworkFunction::EVALUATION_SET[(policy as usize + i) % 4]),
+    )
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TableOp {
+    Lookup { key: usize, weight: u64 },
+    InsertPos { key: usize, policy: u32 },
+    InsertNeg { key: usize },
+    SetLabel { key: usize, label: u16 },
+    PinNext { key: usize, next: u32 },
+    FlagSwitched { key: usize },
+    ReadPin { key: usize },
+    Purge,
+}
+
+impl TableOp {
+    fn key(&self) -> Option<usize> {
+        match *self {
+            TableOp::Lookup { key, .. }
+            | TableOp::InsertPos { key, .. }
+            | TableOp::InsertNeg { key }
+            | TableOp::SetLabel { key, .. }
+            | TableOp::PinNext { key, .. }
+            | TableOp::FlagSwitched { key }
+            | TableOp::ReadPin { key } => Some(key),
+            TableOp::Purge => None,
+        }
+    }
+}
+
+/// A timestamped op sequence, deterministic in `seed`, with monotone
+/// non-decreasing time (the table's documented clock contract). When
+/// `neg_bias` is set the mix is dominated by negative inserts, to drive the
+/// capacity-capped negative cache into eviction.
+fn gen_table_ops(
+    n_keys: usize,
+    n_ops: usize,
+    ttl: u64,
+    seed: u64,
+    neg_bias: bool,
+) -> Vec<(SimTime, TableOp)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut now = 0u64;
+    (0..n_ops)
+        .map(|_| {
+            now += rng.gen_range(0..=(ttl / 3).max(1));
+            let key = rng.gen_range(0..n_keys);
+            let roll = rng.gen_range(0u8..16);
+            let op = if neg_bias && roll < 8 {
+                TableOp::InsertNeg { key }
+            } else {
+                match roll {
+                    0..=5 => TableOp::Lookup { key, weight: rng.gen_range(1u64..4) },
+                    6..=8 => TableOp::InsertPos { key, policy: rng.gen_range(0u32..5) },
+                    9..=10 => TableOp::InsertNeg { key },
+                    11 => TableOp::SetLabel { key, label: rng.gen_range(0u16..100) },
+                    12 => TableOp::PinNext { key, next: rng.gen_range(0u32..16) },
+                    13 => TableOp::FlagSwitched { key },
+                    14 => TableOp::ReadPin { key },
+                    _ => TableOp::Purge,
+                }
+            };
+            (SimTime(now), op)
+        })
+        .collect()
+}
+
+/// Comparable outcome of one op.
+#[derive(Debug, PartialEq)]
+enum OpOut {
+    Entry(Option<FlowEntry>),
+    Flag(bool),
+    Pin(Option<u32>),
+    Count(usize),
+}
+
+fn apply_real(t: &mut FlowTable, keys: &[FiveTuple], now: SimTime, op: TableOp) -> OpOut {
+    match op {
+        TableOp::Lookup { key, weight } => OpOut::Entry(t.lookup(&keys[key], now, weight)),
+        TableOp::InsertPos { key, policy } => {
+            t.insert_positive(keys[key], PolicyId(policy), actions_for(policy), now);
+            OpOut::Count(0)
+        }
+        TableOp::InsertNeg { key } => {
+            t.insert_negative(keys[key], now);
+            OpOut::Count(0)
+        }
+        TableOp::SetLabel { key, label } => OpOut::Flag(t.set_label(&keys[key], Label(label))),
+        TableOp::PinNext { key, next } => OpOut::Flag(t.pin_next(&keys[key], next)),
+        TableOp::FlagSwitched { key } => OpOut::Flag(t.flag_label_switched(&keys[key])),
+        TableOp::ReadPin { key } => OpOut::Pin(t.pinned_next(&keys[key])),
+        TableOp::Purge => OpOut::Count(t.purge_expired(now)),
+    }
+}
+
+/// The pre-PR9 implementation, verbatim: two `FxHashMap`s and the documented
+/// fate logic. Lives in tests only — `sdm-lint` bans per-flow maps from the
+/// data-plane source trees.
+#[derive(Debug)]
+struct RefTable {
+    pos: FxHashMap<FiveTuple, RefPos>,
+    neg: FxHashMap<FiveTuple, u64>,
+    ttl: u64,
+    stats: FlowTableStats,
+}
+
+#[derive(Debug, Clone)]
+struct RefPos {
+    policy: PolicyId,
+    actions: ActionList,
+    label: Option<Label>,
+    pinned: Option<u32>,
+    label_switched: bool,
+    last_seen: u64,
+}
+
+impl RefTable {
+    fn new(ttl: u64) -> Self {
+        RefTable {
+            pos: FxHashMap::default(),
+            neg: FxHashMap::default(),
+            ttl,
+            stats: FlowTableStats::default(),
+        }
+    }
+
+    fn lookup(&mut self, ft: &FiveTuple, now: SimTime, weight: u64) -> Option<FlowEntry> {
+        let pos_stale = self
+            .pos
+            .get(ft)
+            .map(|e| now.0.saturating_sub(e.last_seen) >= self.ttl);
+        match pos_stale {
+            Some(true) => {
+                self.pos.remove(ft);
+                self.stats.expired += 1;
+                self.stats.misses += weight;
+                return None;
+            }
+            Some(false) => {
+                self.stats.hits += weight;
+                let e = self.pos.get_mut(ft).expect("present");
+                e.last_seen = now.0;
+                return Some(FlowEntry {
+                    action: Some((e.policy, e.actions.clone())),
+                    label: e.label,
+                    label_switched: e.label_switched,
+                    pinned_next: e.pinned,
+                });
+            }
+            None => {}
+        }
+        let neg_stale = self.neg.get(ft).map(|ls| now.0.saturating_sub(*ls) >= self.ttl);
+        match neg_stale {
+            Some(true) => {
+                self.neg.remove(ft);
+                self.stats.expired += 1;
+                self.stats.misses += weight;
+                None
+            }
+            Some(false) => {
+                self.stats.hits += weight;
+                self.stats.negative_hits += weight;
+                *self.neg.get_mut(ft).expect("present") = now.0;
+                Some(FlowEntry {
+                    action: None,
+                    label: None,
+                    label_switched: false,
+                    pinned_next: None,
+                })
+            }
+            None => {
+                self.stats.misses += weight;
+                None
+            }
+        }
+    }
+
+    fn purge_expired(&mut self, now: SimTime) -> usize {
+        let ttl = self.ttl;
+        let before = self.pos.len() + self.neg.len();
+        self.pos.retain(|_, e| now.0.saturating_sub(e.last_seen) < ttl);
+        self.neg.retain(|_, ls| now.0.saturating_sub(*ls) < ttl);
+        let dropped = before - self.pos.len() - self.neg.len();
+        self.stats.expired += dropped as u64;
+        dropped
+    }
+
+    fn len(&self) -> usize {
+        self.pos.len() + self.neg.len()
+    }
+
+    fn apply(&mut self, keys: &[FiveTuple], now: SimTime, op: TableOp) -> OpOut {
+        match op {
+            TableOp::Lookup { key, weight } => OpOut::Entry(self.lookup(&keys[key], now, weight)),
+            TableOp::InsertPos { key, policy } => {
+                self.neg.remove(&keys[key]);
+                self.pos.insert(
+                    keys[key],
+                    RefPos {
+                        policy: PolicyId(policy),
+                        actions: actions_for(policy),
+                        label: None,
+                        pinned: None,
+                        label_switched: false,
+                        last_seen: now.0,
+                    },
+                );
+                OpOut::Count(0)
+            }
+            TableOp::InsertNeg { key } => {
+                self.pos.remove(&keys[key]);
+                self.neg.insert(keys[key], now.0);
+                OpOut::Count(0)
+            }
+            TableOp::SetLabel { key, label } => OpOut::Flag(match self.pos.get_mut(&keys[key]) {
+                Some(e) => {
+                    e.label = Some(Label(label));
+                    true
+                }
+                None => false,
+            }),
+            TableOp::PinNext { key, next } => OpOut::Flag(match self.pos.get_mut(&keys[key]) {
+                Some(e) => {
+                    e.pinned = Some(next);
+                    true
+                }
+                None => false,
+            }),
+            TableOp::FlagSwitched { key } => OpOut::Flag(match self.pos.get_mut(&keys[key]) {
+                Some(e) => {
+                    e.label_switched = true;
+                    true
+                }
+                None => false,
+            }),
+            TableOp::ReadPin { key } => {
+                OpOut::Pin(self.pos.get(&keys[key]).and_then(|e| e.pinned))
+            }
+            TableOp::Purge => OpOut::Count(self.purge_expired(now)),
+        }
+    }
+}
+
+/// The open-addressed flow table is observationally equivalent to the old
+/// FxHashMap implementation: identical lookup views, mutator returns, purge
+/// counts, stats and len after every op of a random sequence.
+#[test]
+fn flow_table_matches_fxhashmap_reference() {
+    check(
+        "flow_table_matches_fxhashmap_reference",
+        &Config::with_cases(256),
+        |rng: &mut StdRng| {
+            (
+                rng.gen_range(1usize..48),
+                rng.gen_range(1usize..150),
+                rng.gen_range(2u64..60),
+                rng.next_u64(),
+            )
+        },
+        |&(n_keys, n_ops, ttl, seed)| {
+            let n_keys = n_keys.max(1);
+            let ttl = ttl.max(1);
+            let keys = gen_packets(n_keys, seed ^ 0x0A7A);
+            let ops = gen_table_ops(n_keys, n_ops, ttl, seed, false);
+            // Default negative capacity (64k) dwarfs the key population, so
+            // the capless model stays comparable: no evictions can occur.
+            let mut real = FlowTable::new(ttl);
+            let mut model = RefTable::new(ttl);
+            for (step, &(now, op)) in ops.iter().enumerate() {
+                let a = apply_real(&mut real, &keys, now, op);
+                let b = model.apply(&keys, now, op);
+                prop_assert_eq!(&a, &b, "step {} ({:?} at {:?})", step, op, now);
+                prop_assert_eq!(real.stats(), model.stats, "stats after step {}", step);
+                prop_assert_eq!(real.len(), model.len(), "len after step {}", step);
+            }
+            prop_assert_eq!(real.negative_evictions(), 0, "capless regime violated");
+            Ok(())
+        },
+    );
+}
+
+/// Interleaving budgeted sweeps anywhere in an op sequence never changes
+/// what lookups observe: sweep drops exactly the entries lookup would
+/// reject, so hit/miss/negative accounting and all views stay identical,
+/// and a final purge leaves both tables with the same residents. (Only the
+/// *attribution* of `expired` — sweep vs. the next touch — may differ.)
+#[test]
+fn budgeted_sweep_is_transparent_to_lookups() {
+    check(
+        "budgeted_sweep_is_transparent_to_lookups",
+        &Config::with_cases(192),
+        |rng: &mut StdRng| {
+            (
+                rng.gen_range(1usize..32),
+                rng.gen_range(1usize..120),
+                rng.gen_range(2u64..40),
+                rng.next_u64(),
+            )
+        },
+        |&(n_keys, n_ops, ttl, seed)| {
+            let n_keys = n_keys.max(1);
+            let ttl = ttl.max(1);
+            let keys = gen_packets(n_keys, seed ^ 0x53EE);
+            let ops = gen_table_ops(n_keys, n_ops, ttl, seed, false);
+            let mut plain = FlowTable::new(ttl);
+            let mut swept = FlowTable::new(ttl);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xB0D6);
+            let mut end = SimTime(0);
+            for (step, &(now, op)) in ops.iter().enumerate() {
+                end = now;
+                if rng.gen_bool(0.4) {
+                    let _ = swept.sweep(now, rng.gen_range(1usize..16));
+                }
+                let a = apply_real(&mut plain, &keys, now, op);
+                let b = apply_real(&mut swept, &keys, now, op);
+                // Mutator/purge returns can legitimately differ (the sweep
+                // may already have dropped a stale entry); lookups cannot.
+                if let (OpOut::Entry(ea), OpOut::Entry(eb)) = (&a, &b) {
+                    prop_assert_eq!(ea, eb, "lookup view at step {}", step);
+                }
+                let (sa, sb) = (plain.stats(), swept.stats());
+                prop_assert_eq!(sa.hits, sb.hits, "hits after step {}", step);
+                prop_assert_eq!(sa.negative_hits, sb.negative_hits, "neg hits, step {}", step);
+                prop_assert_eq!(sa.misses, sb.misses, "misses after step {}", step);
+            }
+            plain.purge_expired(end);
+            swept.purge_expired(end);
+            prop_assert_eq!(plain.len(), swept.len(), "residents after final purge");
+            Ok(())
+        },
+    );
+}
+
+/// Batched (vector-path) accounting is exact: for a run of `w` same-flow
+/// packets at one instant, `lookup(weight w)`, per-packet `lookup(weight 1)`
+/// ×`w`, and the engine's `lookup(1)` + `record_run_*hit(w-1)` shortcut all
+/// leave identical stats and state — the SDM_BATCH invariance at table level.
+#[test]
+fn run_mate_accounting_matches_per_packet_lookups() {
+    check(
+        "run_mate_accounting_matches_per_packet_lookups",
+        &Config::with_cases(192),
+        |rng: &mut StdRng| {
+            (
+                rng.gen_range(1usize..32),
+                rng.gen_range(1usize..100),
+                rng.gen_range(2u64..40),
+                rng.next_u64(),
+            )
+        },
+        |&(n_keys, n_ops, ttl, seed)| {
+            let n_keys = n_keys.max(1);
+            let ttl = ttl.max(1);
+            let keys = gen_packets(n_keys, seed ^ 0xBA7C);
+            let ops = gen_table_ops(n_keys, n_ops, ttl, seed, false);
+            let mut weighted = FlowTable::new(ttl);
+            let mut per_packet = FlowTable::new(ttl);
+            let mut shortcut = FlowTable::new(ttl);
+            for (step, &(now, op)) in ops.iter().enumerate() {
+                if let TableOp::Lookup { key, weight } = op {
+                    let ft = &keys[key];
+                    let a = weighted.lookup(ft, now, weight);
+                    let mut b = None;
+                    for _ in 0..weight {
+                        b = per_packet.lookup(ft, now, 1);
+                    }
+                    let c = shortcut.lookup(ft, now, 1);
+                    match &c {
+                        Some(e) if e.is_negative() => {
+                            shortcut.record_run_negative_hit(weight - 1)
+                        }
+                        Some(_) => shortcut.record_run_hit(weight - 1),
+                        // miss: the engine re-looks-up run-mates only after
+                        // an insert; with none, they miss individually
+                        None => {
+                            for _ in 1..weight {
+                                let _ = shortcut.lookup(ft, now, 1);
+                            }
+                        }
+                    }
+                    prop_assert_eq!(&a, &b, "weighted vs per-packet, step {}", step);
+                    prop_assert_eq!(&a, &c, "weighted vs shortcut, step {}", step);
+                } else {
+                    let _ = apply_real(&mut weighted, &keys, now, op);
+                    let _ = apply_real(&mut per_packet, &keys, now, op);
+                    let _ = apply_real(&mut shortcut, &keys, now, op);
+                }
+                prop_assert_eq!(weighted.stats(), per_packet.stats(), "per-packet, step {}", step);
+                prop_assert_eq!(weighted.stats(), shortcut.stats(), "shortcut, step {}", step);
+                prop_assert_eq!(weighted.len(), per_packet.len(), "len, step {}", step);
+                prop_assert_eq!(weighted.len(), shortcut.len(), "len, step {}", step);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Negative-cache eviction is invariant under flow sharding: running one
+/// table versus `shards` tables fed by `stable_hash % shards` (the engine's
+/// exact shard split) yields identical total occupancy, eviction counts and
+/// stats — even deep in the eviction regime of a tiny capacity. This is why
+/// an exhaustion attack's footprint is byte-identical across `SDM_SHARDS`
+/// corners: each power-of-two shard count partitions whole cache sets.
+#[test]
+fn negative_eviction_invariant_under_shard_partition() {
+    check(
+        "negative_eviction_invariant_under_shard_partition",
+        &Config::with_cases(192),
+        |rng: &mut StdRng| {
+            (
+                rng.gen_range(1usize..200),
+                rng.gen_range(1usize..300),
+                rng.next_u64(),
+            )
+        },
+        |&(n_keys, n_ops, seed)| {
+            let n_keys = n_keys.max(1);
+            let ttl = 1_000_000; // expiry out of the way: eviction is the subject
+            let keys = gen_packets(n_keys, seed ^ 0xE71C);
+            let ops = gen_table_ops(n_keys, n_ops, ttl, seed, true);
+            let sets = 4usize; // 32-marker cap: tiny, so evictions are common
+            for shards in [2usize, 4] {
+                let mut single = FlowTable::with_negative_sets(ttl, sets);
+                let mut parts: Vec<FlowTable> =
+                    (0..shards).map(|_| FlowTable::with_negative_sets(ttl, sets)).collect();
+                for &(now, op) in &ops {
+                    let _ = apply_real(&mut single, &keys, now, op);
+                    match op.key() {
+                        Some(k) => {
+                            let s = (keys[k].stable_hash() % shards as u64) as usize;
+                            let _ = apply_real(&mut parts[s], &keys, now, op);
+                        }
+                        // keyless ops (purge) hit every shard, like the engine
+                        None => {
+                            for p in &mut parts {
+                                let _ = apply_real(p, &keys, now, op);
+                            }
+                        }
+                    }
+                }
+                let merged_len: usize = parts.iter().map(|p| p.len()).sum();
+                let merged_neg: usize = parts.iter().map(|p| p.negative_len()).sum();
+                let merged_evict: u64 = parts.iter().map(|p| p.negative_evictions()).sum();
+                let merged_stats = parts.iter().fold(FlowTableStats::default(), |mut s, p| {
+                    s.merge(&p.stats());
+                    s
+                });
+                prop_assert_eq!(single.len(), merged_len, "{} shards", shards);
+                prop_assert_eq!(single.negative_len(), merged_neg, "{} shards", shards);
+                prop_assert_eq!(single.negative_evictions(), merged_evict, "{} shards", shards);
+                prop_assert_eq!(single.stats(), merged_stats, "{} shards", shards);
             }
             Ok(())
         },

@@ -42,6 +42,7 @@ mod plan;
 mod routing;
 
 pub mod campus;
+pub mod hierarchical;
 pub mod two_tier;
 pub mod waxman;
 

@@ -16,6 +16,12 @@
 //! * **`hot-path-panic`** — `.unwrap()` / `.expect(` are flagged in the
 //!   packet hot path ([`HOT_PATH_SUFFIXES`]); a malformed packet must
 //!   surface as a counted drop, not a worker-thread abort.
+//! * **`per-flow-map`** — `FxHashMap<FiveTuple, _>` is banned in the
+//!   data-plane crates: per-flow soft state belongs in the
+//!   open-addressed `FlowTable`/`OaTable` (slab storage, incremental
+//!   rehash, deterministic iteration, bounded negative cache), not an ad
+//!   hoc hash map that reintroduces resize spikes and unbounded
+//!   exhaustion-attack memory.
 //! * **`unsafe-code`** — every crate root must carry
 //!   `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]`, and the
 //!   `unsafe` keyword must not appear in any scanned source. The
@@ -42,6 +48,8 @@ pub const RULE_WALL_CLOCK: &str = "wall-clock";
 pub const RULE_HOT_PATH_PANIC: &str = "hot-path-panic";
 /// Rule name for the unsafe-code policy.
 pub const RULE_UNSAFE_CODE: &str = "unsafe-code";
+/// Rule name for raw per-flow hash maps in the data plane.
+pub const RULE_PER_FLOW_MAP: &str = "per-flow-map";
 
 /// Crates whose sources form the deterministic data plane: default-hasher
 /// collections are banned here.
@@ -526,6 +534,29 @@ hot path; handle the None/Err arm or annotate lint:allow(hot-path-panic)"
                     ),
                 });
             }
+            "FxHashMap"
+                if data_plane
+                    && next_is('<')
+                    // first type parameter is `FiveTuple`, bare or at the
+                    // end of a path like `sdm_netsim::FiveTuple`
+                    && (matches!(scan.tokens.get(idx + 2),
+                            Some((_, Tok::Ident(w))) if w == "FiveTuple")
+                        || (matches!(scan.tokens.get(idx + 3), Some((_, Tok::Punct(':'))))
+                            && matches!(scan.tokens.get(idx + 4), Some((_, Tok::Punct(':'))))
+                            && matches!(scan.tokens.get(idx + 5),
+                                Some((_, Tok::Ident(w))) if w == "FiveTuple")))
+                    && !allowed(&scan, *line, RULE_PER_FLOW_MAP) =>
+            {
+                out.push(LintViolation {
+                    rule: RULE_PER_FLOW_MAP,
+                    file: rel.to_string(),
+                    line: *line,
+                    detail: "`FxHashMap<FiveTuple, _>` reintroduces resize \
+spikes and unbounded per-flow memory; keep per-flow state in the \
+open-addressed FlowTable/OaTable (or annotate lint:allow(per-flow-map))"
+                        .to_string(),
+                });
+            }
             "unsafe" if !allowed(&scan, *line, RULE_UNSAFE_CODE) => {
                 out.push(LintViolation {
                     rule: RULE_UNSAFE_CODE,
@@ -608,6 +639,26 @@ mod tests {
         // Suppressed on the same line.
         let inline = "fn f(x: Option<u8>) { x.expect(\"y\"); } // lint:allow(hot-path-panic)\n";
         assert!(lint_str("crates/netsim/src/engine.rs", "netsim", inline).is_empty());
+    }
+
+    #[test]
+    fn per_flow_map_flagged_in_data_plane() {
+        let src = "fn f() { let m: FxHashMap<FiveTuple, u64> = FxHashMap::default(); }\n";
+        let hits = lint_str("crates/core/src/x.rs", "core", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, RULE_PER_FLOW_MAP);
+        // path-qualified key also caught
+        let qualified = "struct S { m: FxHashMap<sdm_netsim::FiveTuple, u64> }\n";
+        let hits = lint_str("crates/policy/src/x.rs", "policy", qualified);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        // other keys are fine, and so is the bench crate
+        let other = "fn f(m: FxHashMap<u32, FiveTuple>) {}\n";
+        assert!(lint_str("crates/core/src/x.rs", "core", other).is_empty());
+        assert!(lint_str("crates/bench/src/x.rs", "bench", src).is_empty());
+        // suppressible in place
+        let allowed =
+            "// lint:allow(per-flow-map)\nfn f(m: FxHashMap<FiveTuple, u64>) {}\n";
+        assert!(lint_str("crates/core/src/x.rs", "core", allowed).is_empty());
     }
 
     #[test]

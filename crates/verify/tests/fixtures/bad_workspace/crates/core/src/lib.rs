@@ -11,3 +11,7 @@ pub fn broken() -> usize {
     let p: *const u32 = &0;
     unsafe { *p as usize } // rule: unsafe-code (token)
 }
+
+pub struct PerFlow {
+    pub entries: FxHashMap<FiveTuple, u64>, // rule: per-flow-map
+}

@@ -26,6 +26,7 @@ fn fixture_trips_every_rule() {
         sdm_verify::lint::RULE_WALL_CLOCK,
         sdm_verify::lint::RULE_HOT_PATH_PANIC,
         sdm_verify::lint::RULE_UNSAFE_CODE,
+        sdm_verify::lint::RULE_PER_FLOW_MAP,
     ] {
         assert!(
             rules.contains(&rule),

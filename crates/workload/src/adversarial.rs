@@ -1,0 +1,314 @@
+//! Adversarial and stress workloads for the policy-state scaling
+//! experiments (PR 9): traffic mixes whose *flow-table* behavior — not
+//! their volume — is the stressor.
+//!
+//! * [`flash_crowd`] — a thundering herd of distinct sources hammering one
+//!   policy's destination service: positive-cache churn concentrated on
+//!   one device chain.
+//! * [`elephant_skew`] — a few enormous flows among swarms of mice: the
+//!   per-packet cache hit path dominated by a handful of entries while the
+//!   table still fills with one-hit wonders.
+//! * [`exhaustion_attack`] — millions of one-packet flows that match *no*
+//!   policy: every packet is a classification miss that installs a
+//!   negative-cache entry, the paper's flow-table exhaustion attack
+//!   against soft-state proxies. The capped set-associative negative
+//!   cache ([`sdm_policy::NegativeCache`]) bounds the memory this can pin.
+
+use sdm_netsim::{AddressPlan, FiveTuple, Protocol, StubId};
+use sdm_policy::{PolicyId, PolicySet};
+use sdm_util::rng::StdRng;
+
+use crate::flows::Flow;
+use crate::policies::{GeneratedPolicies, PolicyClass};
+
+/// Sentinel policy id carried by attack flows that intentionally match no
+/// policy (a real id would claim a first-match that does not exist).
+pub const NO_POLICY: PolicyId = PolicyId(u32::MAX);
+
+/// Generates a flash crowd: `flows` one-to-few-packet flows from distinct
+/// sources, all first-matching the same many-to-one policy (same
+/// destination service), so one proxy/middlebox chain absorbs the entire
+/// herd.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `policies` has no many-to-one policy or the plan has fewer
+/// than two stubs.
+pub fn flash_crowd(
+    policies: &GeneratedPolicies,
+    addrs: &AddressPlan,
+    flows: usize,
+    seed: u64,
+) -> Vec<Flow> {
+    assert!(addrs.stub_count() >= 2, "need at least two stub networks");
+    let targets = policies.of_class(PolicyClass::ManyToOne);
+    assert!(!targets.is_empty(), "flash crowd needs a many-to-one policy");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = targets[rng.gen_range(0..targets.len())];
+    let m = policies.endpoints(p);
+    let dst_stub = m.dst.expect("many-to-one policies pin a destination");
+    let dst = addrs.host(dst_stub, 0);
+
+    let n_stubs = addrs.stub_count() as u32;
+    let mut out = Vec::with_capacity(flows);
+    for i in 0..flows {
+        // distinct sources: walk stubs and host indices deterministically,
+        // randomize the ephemeral port
+        let mut src_stub = StubId((i as u32) % n_stubs);
+        if src_stub == dst_stub {
+            src_stub = StubId((src_stub.0 + 1) % n_stubs);
+        }
+        let host = ((i as u32) / n_stubs) % 1000;
+        let five_tuple = FiveTuple {
+            src: addrs.host(src_stub, host),
+            dst,
+            src_port: rng.gen_range(10_000u16..60_000),
+            dst_port: m.service,
+            proto: Protocol::Tcp,
+        };
+        debug_assert_eq!(
+            policies.set.first_match(&five_tuple).map(|(id, _)| id),
+            Some(p),
+            "flash-crowd flow must hit its target policy"
+        );
+        out.push(Flow {
+            five_tuple,
+            packets: 1 + (i as u64 % 3),
+            policy: p,
+        });
+    }
+    out
+}
+
+/// Parameters of the elephant-skew generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElephantSkewConfig {
+    /// Total flows to generate.
+    pub flows: usize,
+    /// How many of them are elephants (the rest are mice).
+    pub elephants: usize,
+    /// Packets per mouse flow.
+    pub mouse_packets: u64,
+    /// Packets per elephant flow.
+    pub elephant_packets: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ElephantSkewConfig {
+    fn default() -> Self {
+        ElephantSkewConfig {
+            flows: 10_000,
+            elephants: 10,
+            mouse_packets: 1,
+            elephant_packets: 50_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates an elephant/mice mix: `elephants` flows of
+/// `elephant_packets` packets interleaved (deterministically, spread
+/// evenly) among mice of `mouse_packets` packets. All flows first-match
+/// real policies, rotating over the available evaluation classes like
+/// [`crate::generate_flows`].
+///
+/// # Panics
+///
+/// Panics if `cfg.elephants > cfg.flows`, `policies` is empty, or the plan
+/// has fewer than two stubs.
+pub fn elephant_skew(
+    policies: &GeneratedPolicies,
+    addrs: &AddressPlan,
+    cfg: &ElephantSkewConfig,
+) -> Vec<Flow> {
+    assert!(cfg.elephants <= cfg.flows, "more elephants than flows");
+    let mut out = crate::generate_flows(
+        policies,
+        addrs,
+        &crate::WorkloadConfig {
+            flows: cfg.flows,
+            size_min: cfg.mouse_packets.max(1),
+            size_max: cfg.mouse_packets.max(1),
+            seed: cfg.seed,
+            ..Default::default()
+        },
+    );
+    if let Some(stride) = cfg.flows.checked_div(cfg.elephants) {
+        for e in 0..cfg.elephants {
+            out[e * stride.max(1)].packets = cfg.elephant_packets;
+        }
+    }
+    out
+}
+
+/// Generates the flow-table exhaustion attack: `flows` distinct
+/// one-packet five-tuples, none of which matches any policy in `set` —
+/// every packet forces a full classification miss and a negative-cache
+/// insert at its proxy. Flows carry the [`NO_POLICY`] sentinel id.
+///
+/// Candidate tuples walk destination ports downward from 65535 (far above
+/// the evaluation service ranges) and are *verified* against
+/// [`PolicySet::first_match`]; any colliding port is skipped, so the
+/// guarantee holds for arbitrary policy sets.
+///
+/// Deterministic: the construction is a pure enumeration (no RNG), so the
+/// same `(set, addrs, flows)` always yields the same list.
+///
+/// # Panics
+///
+/// Panics if the plan has fewer than two stubs, or if fewer than 1024
+/// destination ports above 32768 are policy-free (no realistic policy set
+/// comes close).
+pub fn exhaustion_attack(set: &PolicySet, addrs: &AddressPlan, flows: usize) -> Vec<Flow> {
+    assert!(addrs.stub_count() >= 2, "need at least two stub networks");
+    // Pre-screen a bank of policy-free destination ports with a probe
+    // tuple, then re-verify each emitted tuple (descriptors could in
+    // principle match on src fields too).
+    let probe_src = addrs.host(StubId(0), 0);
+    let probe_dst = addrs.host(StubId(1), 0);
+    let mut ports = Vec::with_capacity(1024);
+    for port in (32_768..=65_535u16).rev() {
+        let probe = FiveTuple {
+            src: probe_src,
+            dst: probe_dst,
+            src_port: 10_000,
+            dst_port: port,
+            proto: Protocol::Tcp,
+        };
+        if set.first_match(&probe).is_none() {
+            ports.push(port);
+            if ports.len() == 1024 {
+                break;
+            }
+        }
+    }
+    assert!(
+        ports.len() == 1024,
+        "policy set leaves too few high ports unmatched"
+    );
+
+    let n_stubs = addrs.stub_count() as u32;
+    let mut out = Vec::with_capacity(flows);
+    let mut i = 0u64;
+    while out.len() < flows {
+        // enumerate distinct tuples: port bank × stub × src port × host —
+        // the stub cycles early so the attack spreads over every proxy
+        let port = ports[(i % 1024) as usize];
+        let rest = i / 1024;
+        let src_stub = StubId((rest as u32) % n_stubs);
+        let rest = rest / n_stubs as u64;
+        let src_port = 10_000 + (rest % 50_000) as u16;
+        let host = ((rest / 50_000) % 1000) as u32;
+        let dst_stub = StubId((src_stub.0 + 1) % n_stubs);
+        i += 1;
+        let five_tuple = FiveTuple {
+            src: addrs.host(src_stub, host),
+            dst: addrs.host(dst_stub, host),
+            src_port,
+            dst_port: port,
+            proto: Protocol::Udp,
+        };
+        if set.first_match(&five_tuple).is_some() {
+            continue; // a src-sensitive policy caught this tuple; skip it
+        }
+        out.push(Flow {
+            five_tuple,
+            packets: 1,
+            policy: NO_POLICY,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{evaluation_policies, PolicyClassCounts};
+    use sdm_netsim::AddressPlan;
+    use sdm_topology::campus::campus;
+
+    fn world() -> (GeneratedPolicies, AddressPlan) {
+        let plan = campus(1);
+        let addrs = AddressPlan::new(&plan);
+        let gp = evaluation_policies(&addrs, PolicyClassCounts::default(), 3);
+        (gp, addrs)
+    }
+
+    #[test]
+    fn flash_crowd_targets_one_policy() {
+        let (gp, addrs) = world();
+        let flows = flash_crowd(&gp, &addrs, 2000, 7);
+        assert_eq!(flows.len(), 2000);
+        let target = flows[0].policy;
+        let dst = flows[0].five_tuple.dst;
+        for f in &flows {
+            assert_eq!(f.policy, target);
+            assert_eq!(f.five_tuple.dst, dst, "one destination for the herd");
+            let (id, _) = gp.set.first_match(&f.five_tuple).unwrap();
+            assert_eq!(id, target);
+        }
+        // herd comes from many distinct sources
+        let sources: std::collections::HashSet<_> =
+            flows.iter().map(|f| f.five_tuple.src).collect();
+        assert!(sources.len() > 100, "distinct sources: {}", sources.len());
+    }
+
+    #[test]
+    fn flash_crowd_deterministic_in_seed() {
+        let (gp, addrs) = world();
+        assert_eq!(flash_crowd(&gp, &addrs, 100, 5), flash_crowd(&gp, &addrs, 100, 5));
+        assert_ne!(flash_crowd(&gp, &addrs, 100, 5), flash_crowd(&gp, &addrs, 100, 6));
+    }
+
+    #[test]
+    fn elephant_skew_shapes_sizes() {
+        let (gp, addrs) = world();
+        let cfg = ElephantSkewConfig {
+            flows: 1000,
+            elephants: 5,
+            mouse_packets: 2,
+            elephant_packets: 9999,
+            seed: 3,
+        };
+        let flows = elephant_skew(&gp, &addrs, &cfg);
+        assert_eq!(flows.len(), 1000);
+        let big = flows.iter().filter(|f| f.packets == 9999).count();
+        let small = flows.iter().filter(|f| f.packets == 2).count();
+        assert_eq!(big, 5);
+        assert_eq!(big + small, 1000);
+        for f in &flows {
+            let (id, _) = gp.set.first_match(&f.five_tuple).unwrap();
+            assert_eq!(id, f.policy);
+        }
+    }
+
+    #[test]
+    fn exhaustion_flows_match_nothing_and_are_distinct() {
+        let (gp, addrs) = world();
+        let flows = exhaustion_attack(&gp.set, &addrs, 5000);
+        assert_eq!(flows.len(), 5000);
+        let mut seen = std::collections::HashSet::new();
+        for f in &flows {
+            assert_eq!(f.packets, 1);
+            assert_eq!(f.policy, NO_POLICY);
+            assert!(
+                gp.set.first_match(&f.five_tuple).is_none(),
+                "attack flow {} must not match",
+                f.five_tuple
+            );
+            assert!(seen.insert(f.five_tuple), "duplicate {}", f.five_tuple);
+        }
+    }
+
+    #[test]
+    fn exhaustion_is_deterministic() {
+        let (gp, addrs) = world();
+        assert_eq!(
+            exhaustion_attack(&gp.set, &addrs, 300),
+            exhaustion_attack(&gp.set, &addrs, 300)
+        );
+    }
+}

@@ -14,11 +14,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversarial;
 mod flows;
 mod policies;
 mod shard;
 mod trace;
 
+pub use adversarial::{
+    elephant_skew, exhaustion_attack, flash_crowd, ElephantSkewConfig, NO_POLICY,
+};
 pub use flows::{generate_flows, generate_flows_with_total, Flow, WorkloadConfig};
 pub use shard::{shard_flows, to_flow_specs};
 pub use policies::{evaluation_policies, GeneratedPolicies, PolicyClass, PolicyClassCounts};

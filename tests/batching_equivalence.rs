@@ -52,10 +52,13 @@ fn run_with_batch(
         proxy_counters.push(st.counters);
         footprint.proxy_flow_entries.push(st.flows.len() as u64);
         footprint.proxy_flow_stats.push(st.flows.stats());
+        footprint.proxy_neg_evictions.push(st.flows.negative_evictions());
     }
     for g in 0..controller.plan().gateways().len() {
         let st = enf.ingress_state(g);
-        footprint.ingress_flow_entries.push(st.lock().flows.len() as u64);
+        let st = st.lock();
+        footprint.ingress_flow_entries.push(st.flows.len() as u64);
+        footprint.ingress_neg_evictions.push(st.flows.negative_evictions());
     }
     let mut mbox_counters = Vec::new();
     for (id, _) in controller.deployment().iter() {
@@ -65,6 +68,7 @@ fn run_with_batch(
         footprint.mbox_flow_entries.push(st.flows.len() as u64);
         footprint.mbox_label_entries.push(st.labels.len() as u64);
         footprint.mbox_flow_stats.push(st.flows.stats());
+        footprint.mbox_neg_evictions.push(st.flows.negative_evictions());
     }
     Snapshot {
         stats: enf.sim().stats().clone(),
