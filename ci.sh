@@ -90,8 +90,25 @@ SDM_SHARDS=4 SDM_BATCH=256 cargo run --release --offline -p sdm-bench --bin exha
 cmp /tmp/sdm_exhaustion_s1b1.txt /tmp/sdm_exhaustion_s4b256.txt
 echo "    exhaustion-attack report (incl. neg-cache evictions) is shard/batch-invariant"
 
-phase "micro-benchmarks -> results/BENCH_pr9.json"
-SDM_BENCH_OUT=results/BENCH_pr9.json cargo bench --workspace --offline
+phase "reach golden: symbolic isolation checker on campus + 21k-node hierarchical"
+cargo run --release --offline -p sdm-bench --bin sdm-reach -- \
+    --campus-assertions results/assertions_campus.txt \
+    --hier-assertions results/assertions_hier.txt \
+    --corpus-out /tmp/sdm_reach_corpus.json > /tmp/sdm_reach_golden.json
+cmp results/reach_golden.json /tmp/sdm_reach_golden.json
+cmp results/reach_corpus.json /tmp/sdm_reach_corpus.json
+echo "    reach report and counterexample corpus are byte-identical to the goldens"
+
+phase "reach replay: every committed counterexample confirmed by the simulator"
+SDM_SHARDS=1 SDM_BATCH=1 cargo run --release --offline -p sdm-bench --bin sdm-reach -- \
+    --replay results/reach_corpus.json > /tmp/sdm_reach_replay_s1b1.json
+SDM_SHARDS=4 SDM_BATCH=256 cargo run --release --offline -p sdm-bench --bin sdm-reach -- \
+    --replay results/reach_corpus.json > /tmp/sdm_reach_replay_s4b256.json
+cmp /tmp/sdm_reach_replay_s1b1.json /tmp/sdm_reach_replay_s4b256.json
+echo "    simulator agrees with every static witness at 1/1 and 4/256 shards/batch"
+
+phase "micro-benchmarks -> results/BENCH_pr10.json"
+SDM_BENCH_OUT=results/BENCH_pr10.json cargo bench --workspace --offline
 
 phase "bench regression gate (>25% median slowdown fails; table_scale bounds enforced)"
 cargo run --release --offline -p sdm-bench --bin bench_gate

@@ -11,7 +11,7 @@
 //! The fresh file is produced by the bench harness itself, e.g.
 //!
 //! ```sh
-//! SDM_BENCH_OUT=results/BENCH_pr9.json cargo bench --workspace --offline
+//! SDM_BENCH_OUT=results/BENCH_pr10.json cargo bench --workspace --offline
 //! cargo run --release --offline -p sdm-bench --bin bench_gate
 //! ```
 //!
@@ -77,7 +77,7 @@ FLAGS:
   --baseline PATH         baseline JSON file
                           (default: results/BENCH_baseline.json)
   --current PATH          fresh JSON file produced via SDM_BENCH_OUT
-                          (default: results/BENCH_pr9.json)
+                          (default: results/BENCH_pr10.json)
   --max-regress PCT       fail when a paired benchmark's median regressed
                           by more than PCT percent (default: 25)
   --noise-floor [GROUP=]NS
@@ -386,7 +386,7 @@ fn main() -> ExitCode {
     let baseline_path = arg_value(&args, "--baseline")
         .unwrap_or_else(|| "results/BENCH_baseline.json".to_string());
     let current_path = arg_value(&args, "--current")
-        .unwrap_or_else(|| "results/BENCH_pr9.json".to_string());
+        .unwrap_or_else(|| "results/BENCH_pr10.json".to_string());
     let max_regress_pct: f64 = arg_value(&args, "--max-regress")
         .and_then(|s| s.parse().ok())
         .unwrap_or(25.0);

@@ -17,6 +17,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod reach_worlds;
+pub mod replay;
+
 use sdm_core::{
     Controller, Deployment, EnforcementOptions, KConfig, LbOptions, LbReport, LoadReport,
     Strategy, TrafficMatrix,

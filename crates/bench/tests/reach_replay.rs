@@ -1,0 +1,136 @@
+//! PR-10 static/dynamic agreement property tests: every `R0xx` witness
+//! the reach checker emits must replay in the simulator with exactly the
+//! predicted outcome — at every execution-mode corner (`SDM_SHARDS` 1/4
+//! × `SDM_BATCH` 1/256) — and deployments whose assertions all hold must
+//! produce an empty corpus that trivially replays clean.
+//!
+//! The corners are exercised in-process by setting the environment
+//! variables the engine reads at construction; all replays happen inside
+//! one test so the process-global variables are never raced.
+
+use sdm_bench::reach_worlds::{hazard_pass, world_reach};
+use sdm_bench::replay::replay_corpus;
+use sdm_bench::ExperimentConfig;
+use sdm_core::{EnforcementOptions, EpochLoop, LbOptions, MiddleboxId, Strategy};
+use sdm_verify::reach::{check_assertions, parse_assertions, ReachCode};
+use sdm_workload::to_flow_specs;
+
+const CAMPUS_ASSERTS: &str = include_str!("../../../results/assertions_campus.txt");
+
+#[test]
+fn every_witness_replays_with_predicted_outcome_at_all_corners() {
+    let assertions = parse_assertions(CAMPUS_ASSERTS).expect("campus assertions parse");
+    let mut wr = world_reach(&ExperimentConfig::campus(1));
+    let report = check_assertions(&wr.view, wr.world.controller.routes(), &assertions);
+    assert!(
+        !report.is_clean(),
+        "the committed assertion file must contain refutable assertions"
+    );
+    let mut corpus = report.scenarios();
+    assert!(report.has_code(ReachCode::IsolationBreach));
+    assert!(report.has_code(ReachCode::WaypointBypass));
+
+    // The epoch-hazard class: a middlebox fails while proxies still hold
+    // pinned flows; the static tier must find the window...
+    let (_failed, hazard_report) = hazard_pass(&mut wr);
+    assert!(hazard_report.has_code(ReachCode::StalePinnedFlow));
+    corpus.extend(hazard_report.scenarios());
+    assert!(
+        hazard_report.scenarios().iter().any(|s| s.code == "R005"),
+        "the hazard pass must lower at least one stale-pin window to a scenario"
+    );
+
+    // ...and the simulator must confirm every witness, under the scalar
+    // and vector engines and with sharding requested and not.
+    for shards in ["1", "4"] {
+        for batch in ["1", "256"] {
+            std::env::set_var("SDM_SHARDS", shards);
+            std::env::set_var("SDM_BATCH", batch);
+            let (verdicts, all_agree) = replay_corpus(
+                &wr.world.controller,
+                Strategy::HotPotato,
+                None,
+                wr.options,
+                &corpus,
+            );
+            assert_eq!(verdicts.len(), corpus.len());
+            let disagreements: Vec<String> = verdicts
+                .iter()
+                .filter(|v| !v.agrees)
+                .map(|v| format!("{}: {:?}", v.name, v.mismatches))
+                .collect();
+            assert!(
+                all_agree,
+                "simulator disagreed at SDM_SHARDS={shards} SDM_BATCH={batch}:\n{}",
+                disagreements.join("\n")
+            );
+        }
+    }
+    std::env::remove_var("SDM_SHARDS");
+    std::env::remove_var("SDM_BATCH");
+}
+
+#[test]
+fn clean_deployment_produces_empty_corpus_and_replays_clean() {
+    // Assertions the campus deployment satisfies: loop freedom, and
+    // isolation from enterprise space no stub subnet backs (unroutable,
+    // so the isolation holds vacuously).
+    let assertions =
+        parse_assertions("loop-free ttl 64\nisolate 10.0.0.0/20 -> 10.200.0.0/16\n")
+            .expect("assertions parse");
+    let wr = world_reach(&ExperimentConfig::campus(1));
+    let report = check_assertions(&wr.view, wr.world.controller.routes(), &assertions);
+    assert!(
+        report.is_clean(),
+        "unexpected findings: {:?}",
+        report.findings
+    );
+    assert!(report.results.iter().all(|r| r.holds));
+    let corpus = report.scenarios();
+    assert!(corpus.is_empty());
+
+    let (verdicts, all_agree) = replay_corpus(
+        &wr.world.controller,
+        Strategy::HotPotato,
+        None,
+        wr.options,
+        &corpus,
+    );
+    assert!(all_agree && verdicts.is_empty());
+}
+
+#[test]
+fn epoch_loop_exposes_stale_pin_hazard_to_the_checker() {
+    // The live control loop: run an epoch (pins flows under the solved
+    // weights), crash a middlebox, and ask the loop's own verification
+    // hook; the mid-epoch hazard state must surface as R005.
+    let world = sdm_bench::World::build(&ExperimentConfig::campus(1));
+    let mut ep = EpochLoop::new(
+        &world.controller,
+        1,
+        EnforcementOptions::default(),
+        LbOptions::default(),
+    );
+    let flows = world.flows(50_000, 11);
+    let specs = to_flow_specs(&flows, 512);
+    ep.run_epoch(&specs).expect("epoch must solve");
+
+    let clean = ep.verify_reach();
+    assert!(
+        !clean.has_code(ReachCode::StalePinnedFlow),
+        "no stale-pin window before any failure"
+    );
+
+    for m in 0..world.deployment.len() as u32 {
+        ep.fail_middlebox(MiddleboxId(m));
+    }
+    let report = ep.verify_reach();
+    assert!(
+        report.has_code(ReachCode::StalePinnedFlow),
+        "all boxes failed mid-epoch: every pinned flow is stale"
+    );
+
+    ep.restore_middlebox(MiddleboxId(0));
+    let partial = ep.verify_reach();
+    assert!(partial.has_code(ReachCode::StalePinnedFlow));
+}

@@ -122,6 +122,7 @@ pub struct Controller {
     policies: PolicySet,
     k: KConfig,
     assignments: Assignments,
+    assertions: Vec<sdm_verify::reach::Assertion>,
 }
 
 impl Controller {
@@ -162,6 +163,7 @@ impl Controller {
             policies,
             k,
             assignments,
+            assertions: Vec::new(),
         };
         let report = crate::verify::verify_controller(&controller);
         assert!(!report.has_errors(), "{report}");
@@ -201,6 +203,19 @@ impl Controller {
     /// The computed candidate sets `M_x^e`.
     pub fn assignments(&self) -> &Assignments {
         &self.assignments
+    }
+
+    /// Installs the operator's isolation/waypoint assertions. They are
+    /// carried on the controller so every reach verification — the
+    /// converged checks ([`crate::verify_reach`]) and the epoch-hazard
+    /// checks ([`crate::EpochLoop::verify_reach`]) — tests the same set.
+    pub fn set_assertions(&mut self, assertions: Vec<sdm_verify::reach::Assertion>) {
+        self.assertions = assertions;
+    }
+
+    /// The installed isolation/waypoint assertions.
+    pub fn assertions(&self) -> &[sdm_verify::reach::Assertion] {
+        &self.assertions
     }
 
     /// Reacts to a middlebox failure: marks it failed in the deployment

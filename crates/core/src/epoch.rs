@@ -24,7 +24,7 @@ use crate::deployment::MiddleboxId;
 use crate::lp_model::{LbError, LbOptions, LbWarmCache};
 use crate::measure::TrafficMatrix;
 use crate::shard::{shard_of, FlowSpec};
-use crate::steer::Strategy;
+use crate::steer::{SteeringWeights, Strategy};
 use crate::verify::verify_enforcement;
 
 /// Why an epoch could not be activated.
@@ -135,6 +135,16 @@ pub struct EpochLoop<'a> {
     cache: LbWarmCache,
     epoch: u32,
     lp_tel: LpTelemetry,
+    /// Weights in force in the data plane right now (`None` until the
+    /// first activation: the bootstrap hot-potato fallback).
+    current_weights: Option<SteeringWeights>,
+    /// Weights that were in force *before* the most recent activation —
+    /// the state still-pinned flows were steered under. Hazard input for
+    /// the reach tier's stale-pinned-flow (R005) check.
+    prev_weights: Option<SteeringWeights>,
+    /// Middleboxes currently failed in the shard data planes (sorted by
+    /// index). Flows pinned before the failure still target them.
+    failed: Vec<MiddleboxId>,
 }
 
 impl<'a> EpochLoop<'a> {
@@ -164,6 +174,9 @@ impl<'a> EpochLoop<'a> {
             cache: LbWarmCache::new(),
             epoch: 0,
             lp_tel: LpTelemetry::default(),
+            current_weights: None,
+            prev_weights: None,
+            failed: Vec::new(),
         }
     }
 
@@ -241,6 +254,11 @@ impl<'a> EpochLoop<'a> {
         for enf in &self.shards {
             enf.update_weights(Some(weights.clone()));
         }
+        // Remember the pre-swap state: flows pinned before this
+        // activation were steered under it, and the reach tier's hazard
+        // pass needs it to find stale `pinned_next` windows.
+        self.prev_weights = self.current_weights.take();
+        self.current_weights = Some(weights);
         self.lp_tel.activations += 1;
         report.activated = true;
         Ok(report)
@@ -253,6 +271,9 @@ impl<'a> EpochLoop<'a> {
         for enf in &mut self.shards {
             enf.fail_middlebox(id);
         }
+        if let Err(at) = self.failed.binary_search(&id) {
+            self.failed.insert(at, id);
+        }
     }
 
     /// Restores a crashed middlebox in every shard's data plane.
@@ -260,6 +281,35 @@ impl<'a> EpochLoop<'a> {
         for enf in &mut self.shards {
             enf.restore_middlebox(id);
         }
+        if let Ok(at) = self.failed.binary_search(&id) {
+            self.failed.remove(at);
+        }
+    }
+
+    /// The hazard state the reach tier verifies on top of the converged
+    /// plan: the pre-swap weights (the state still-pinned flows were
+    /// steered under) and the currently-failed middlebox set.
+    pub fn hazard_view(&self) -> sdm_verify::reach::HazardView {
+        sdm_verify::reach::HazardView {
+            prev_weights: self.prev_weights.as_ref().map(crate::verify::weights_view),
+            failed_now: self.failed.iter().map(|m| m.0).collect(),
+        }
+    }
+
+    /// Runs the reach (isolation) checker against the controller's
+    /// installed assertions in the loop's *current* state — including the
+    /// mid-epoch hazards ([`Self::hazard_view`]) the converged-plan
+    /// checks cannot see: stale pinned flows across the last weight swap
+    /// and middleboxes failed between epochs.
+    pub fn verify_reach(&self) -> sdm_verify::reach::ReachReport {
+        crate::reach::verify_reach_hazards(
+            self.controller,
+            Strategy::LoadBalanced,
+            self.current_weights.as_ref(),
+            &self.options,
+            self.hazard_view(),
+            self.controller.assertions(),
+        )
     }
 
     /// Per-middlebox packet loads summed across shards (shard-index-order

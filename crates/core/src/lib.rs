@@ -61,6 +61,7 @@ mod lp_model;
 mod measure;
 mod middlebox;
 mod proxy;
+mod reach;
 mod report;
 mod runtime;
 mod shard;
@@ -88,4 +89,5 @@ pub use steer::{
     select_next, Assignments, CommodityKey, KConfig, SteerPoint, SteeringEncoding,
     SteeringWeights, Strategy, WeightKey,
 };
-pub use verify::{plan_view, verify_controller, verify_enforcement};
+pub use reach::{reach_view, strategy_view, verify_reach, verify_reach_hazards};
+pub use verify::{plan_view, verify_controller, verify_enforcement, weights_view};

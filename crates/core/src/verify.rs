@@ -35,6 +35,24 @@ fn point_of(p: SteerPoint) -> Point {
     }
 }
 
+/// Projects an LP solution into the verifier's neutral weight view (also
+/// used by the reach tier to model the *previous* epoch's weights when
+/// checking stale-flow hazards).
+pub fn weights_view(w: &SteeringWeights) -> WeightsView {
+    WeightsView {
+        lambda: w.lambda(),
+        columns: w
+            .iter()
+            .map(|(key, col)| WeightColumn {
+                point: point_of(key.point),
+                policy: key.policy.0,
+                next_index: key.next_index,
+                weights: col.iter().map(|&(m, v)| (m.0, v)).collect(),
+            })
+            .collect(),
+    }
+}
+
 /// Projects the controller's state (and optionally an LP solution and
 /// runtime options) into the verifier's neutral [`PlanView`].
 pub fn plan_view(
@@ -120,18 +138,7 @@ pub fn plan_view(
         policies,
         k,
         candidates,
-        weights: weights.map(|w| WeightsView {
-            lambda: w.lambda(),
-            columns: w
-                .iter()
-                .map(|(key, col)| WeightColumn {
-                    point: point_of(key.point),
-                    policy: key.policy.0,
-                    next_index: key.next_index,
-                    weights: col.iter().map(|&(m, v)| (m.0, v)).collect(),
-                })
-                .collect(),
-        }),
+        weights: weights.map(weights_view),
         options: options.map(|o| OptionsView {
             flow_ttl: o.flow_ttl,
             label_ttl: o.label_ttl,
@@ -142,17 +149,26 @@ pub fn plan_view(
 
 /// Structural verification of a controller's plan (no weights, no
 /// runtime options): what [`Controller::new`] fail-fasts on.
+///
+/// Uses [`sdm_verify::verify_plan_routed`] with the controller's routing
+/// tables so the V005 steering-loop pass walks the *routed* realization
+/// of every steering edge — the same next-hop view the reach tier
+/// consumes — instead of trusting the declared tunnel edges alone.
 pub fn verify_controller(controller: &Controller) -> VerifyReport {
-    sdm_verify::verify_plan(&plan_view(controller, None, None))
+    sdm_verify::verify_plan_routed(&plan_view(controller, None, None), controller.routes())
 }
 
 /// Full pre-run verification: structure plus the LP solution and the
 /// runtime options an enforcement run was handed. What
-/// [`Controller::run_sharded`] fail-fasts on.
+/// [`Controller::run_sharded`] fail-fasts on. Routed like
+/// [`verify_controller`].
 pub fn verify_enforcement(
     controller: &Controller,
     weights: Option<&SteeringWeights>,
     options: &EnforcementOptions,
 ) -> VerifyReport {
-    sdm_verify::verify_plan(&plan_view(controller, weights, Some(options)))
+    sdm_verify::verify_plan_routed(
+        &plan_view(controller, weights, Some(options)),
+        controller.routes(),
+    )
 }

@@ -83,7 +83,7 @@ impl FromStr for Ipv4Addr {
 /// assert!(!p.contains("10.4.0.1".parse().unwrap()));
 /// assert!(Prefix::ANY.contains(Ipv4Addr(0xdeadbeef)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Prefix {
     addr: Ipv4Addr,
     len: u8,

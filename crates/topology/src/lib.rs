@@ -48,4 +48,4 @@ pub mod waxman;
 
 pub use graph::{LinkId, NodeId, NodeKind, Topology, TopologyError};
 pub use plan::NetworkPlan;
-pub use routing::{Path, RoutingTables};
+pub use routing::{DestRoutes, Path, RoutingTables};

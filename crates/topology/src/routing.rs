@@ -206,6 +206,140 @@ impl RoutingTables {
     }
 }
 
+/// On-demand per-destination routing rows: the checker-consumable export
+/// of OSPF forwarding for topologies where the all-pairs tables of
+/// [`RoutingTables`] would not fit (at ~21k nodes the dense `n²` arrays
+/// run to gigabytes; a static checker only ever asks about a handful of
+/// destinations — middlebox attachment routers and assertion endpoints).
+///
+/// One Dijkstra rooted at the *destination* yields, for every node `v`,
+/// the neighbor `v` forwards to when routing towards that destination
+/// (on an undirected graph the shortest `v → dst` path is the reverse of
+/// the tree path, so the forwarding hop is `v`'s tree predecessor). Rows
+/// are cached per destination, so asking many `(src, dst)` pairs with few
+/// distinct destinations stays cheap.
+///
+/// Tie-breaking is deterministic — among equal-cost parents the smaller
+/// node id wins — but because ties are broken from the destination side,
+/// the chosen path through an equal-cost mesh may differ from the
+/// source-side tie-break of [`RoutingTables`]. Distances always agree;
+/// use [`RoutingTables`] when byte-exact agreement with the simulator's
+/// forwarding is required and the topology is small enough.
+///
+/// # Example
+///
+/// ```
+/// use sdm_topology::{Topology, NodeKind};
+/// let mut t = Topology::new();
+/// let a = t.add_node(NodeKind::EdgeRouter, "a");
+/// let b = t.add_node(NodeKind::CoreRouter, "b");
+/// let c = t.add_node(NodeKind::EdgeRouter, "c");
+/// t.add_link(a, b, 1).unwrap();
+/// t.add_link(b, c, 1).unwrap();
+/// let routes = t.dest_routes();
+/// assert_eq!(routes.next_hop(a, c), Some(b));
+/// assert_eq!(routes.dist(a, c), Some(2));
+/// assert_eq!(routes.cached_destinations(), 1);
+/// ```
+pub struct DestRoutes<'a> {
+    topo: &'a Topology,
+    /// dst -> (toward, dist) rows, keyed and iterated in sorted order so
+    /// any reporting over the cache is deterministic.
+    rows: std::cell::RefCell<std::collections::BTreeMap<u32, std::rc::Rc<DestRow>>>,
+}
+
+struct DestRow {
+    /// toward[v]: the neighbor v forwards to when routing to the row's
+    /// destination; UNREACHABLE when v cannot reach it (or v == dst).
+    toward: Vec<u32>,
+    dist: Vec<u32>,
+}
+
+impl<'a> DestRoutes<'a> {
+    /// Creates an empty (nothing computed yet) route view over `topo`.
+    pub fn new(topo: &'a Topology) -> Self {
+        DestRoutes {
+            topo,
+            rows: std::cell::RefCell::new(std::collections::BTreeMap::new()),
+        }
+    }
+
+    fn row(&self, dst: NodeId) -> std::rc::Rc<DestRow> {
+        if let Some(r) = self.rows.borrow().get(&dst.0) {
+            return std::rc::Rc::clone(r);
+        }
+        let row = std::rc::Rc::new(self.compute_row(dst));
+        self.rows
+            .borrow_mut()
+            .insert(dst.0, std::rc::Rc::clone(&row));
+        row
+    }
+
+    /// Dijkstra rooted at `dst` with the same deterministic tie-break as
+    /// [`RoutingTables`]: among equal-cost parents the smaller id wins.
+    fn compute_row(&self, dst: NodeId) -> DestRow {
+        let n = self.topo.node_count();
+        let mut dist = vec![UNREACHABLE; n];
+        let mut toward = vec![UNREACHABLE; n];
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        dist[dst.index()] = 0;
+        heap.push(Reverse((0, dst.0)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for &(v, _link, c) in self.topo.adjacency(NodeId(u)) {
+                let nd = d.saturating_add(c);
+                let better = nd < dist[v.index()]
+                    || (nd == dist[v.index()] && u < toward[v.index()]);
+                if better {
+                    dist[v.index()] = nd;
+                    toward[v.index()] = u;
+                    heap.push(Reverse((nd, v.0)));
+                }
+            }
+        }
+        DestRow { toward, dist }
+    }
+
+    /// The neighbor `src` forwards to when routing towards `dst`, or
+    /// `None` if `dst` is unreachable or equals `src`.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        if src == dst {
+            return None;
+        }
+        match self.row(dst).toward[src.index()] {
+            UNREACHABLE => None,
+            v => Some(NodeId(v)),
+        }
+    }
+
+    /// Shortest-path cost from `src` to `dst`, or `None` if unreachable.
+    pub fn dist(&self, src: NodeId, dst: NodeId) -> Option<u32> {
+        if src == dst {
+            return Some(0);
+        }
+        match self.row(dst).dist[src.index()] {
+            UNREACHABLE => None,
+            d => Some(d),
+        }
+    }
+
+    /// How many destination rows have been computed so far.
+    pub fn cached_destinations(&self) -> usize {
+        self.rows.borrow().len()
+    }
+}
+
+impl std::fmt::Debug for DestRoutes<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DestRoutes")
+            .field("nodes", &self.topo.node_count())
+            .field("cached_destinations", &self.cached_destinations())
+            .finish()
+    }
+}
+
 impl Topology {
     /// Computes all-pairs shortest-path routing tables for this topology,
     /// the equivalent of letting OSPF converge on every router.
@@ -217,6 +351,13 @@ impl Topology {
     /// OSPF converges to after withdrawing their link-state advertisements.
     pub fn routing_tables_excluding(&self, failed: &[crate::LinkId]) -> RoutingTables {
         RoutingTables::compute_excluding(self, failed)
+    }
+
+    /// On-demand per-destination routing rows (see [`DestRoutes`]): the
+    /// memory-proportional alternative to [`Topology::routing_tables`] for
+    /// topologies too large for dense all-pairs tables.
+    pub fn dest_routes(&self) -> DestRoutes<'_> {
+        DestRoutes::new(self)
     }
 }
 
@@ -350,6 +491,64 @@ mod tests {
         let rt = t.routing_tables_excluding(&[ab]);
         assert_eq!(rt.dist(a, b), None);
         assert!(rt.path(a, b).is_none());
+    }
+
+    #[test]
+    fn dest_routes_agree_with_all_pairs_distances() {
+        // Same deterministic mesh as `matches_floyd_warshall`.
+        let mut t = Topology::new();
+        let ids: Vec<_> = (0..8)
+            .map(|i| t.add_node(NodeKind::CoreRouter, format!("n{i}")))
+            .collect();
+        let mut s: u64 = 42;
+        let mut rand = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as u32
+        };
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                if rand() % 3 != 0 {
+                    t.add_link(ids[i], ids[j], 1 + rand() % 9).unwrap();
+                }
+            }
+        }
+        let rt = t.routing_tables();
+        let dr = t.dest_routes();
+        for &src in &ids {
+            for &dst in &ids {
+                assert_eq!(dr.dist(src, dst), rt.dist(src, dst), "{src:?}->{dst:?}");
+                // Following dest-route next hops must reach dst along a
+                // path whose hop costs sum to the shortest distance.
+                if src != dst && dr.dist(src, dst).is_some() {
+                    let mut at = src;
+                    let mut hops = 0;
+                    while at != dst {
+                        let nh = dr.next_hop(at, dst).expect("reachable");
+                        // each hop strictly decreases remaining distance
+                        assert!(dr.dist(nh, dst).unwrap() < dr.dist(at, dst).unwrap());
+                        at = nh;
+                        hops += 1;
+                        assert!(hops <= ids.len(), "forwarding loop");
+                    }
+                }
+            }
+        }
+        assert_eq!(dr.cached_destinations(), ids.len());
+    }
+
+    #[test]
+    fn dest_routes_handle_self_and_unreachable() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::CoreRouter, "a");
+        let b = t.add_node(NodeKind::CoreRouter, "b");
+        let island = t.add_node(NodeKind::CoreRouter, "island");
+        t.add_link(a, b, 1).unwrap();
+        let dr = t.dest_routes();
+        assert_eq!(dr.next_hop(a, a), None);
+        assert_eq!(dr.dist(a, a), Some(0));
+        assert_eq!(dr.next_hop(a, island), None);
+        assert_eq!(dr.dist(a, island), None);
+        assert_eq!(dr.next_hop(a, b), Some(b));
     }
 
     /// Cross-check Dijkstra against Floyd–Warshall on a fixed mesh.

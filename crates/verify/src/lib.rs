@@ -32,9 +32,20 @@
 
 pub mod lint;
 pub mod plan;
+pub mod reach;
+pub mod witness;
 
 pub use lint::{lint_workspace, LintConfig, LintViolation};
 pub use plan::{
-    verify_plan, CandidateSet, ChainView, ErrorCode, MboxView, OptionsView, PlanView, Point,
-    Severity, VerifyError, VerifyReport, WeightColumn, WeightsView,
+    verify_plan, verify_plan_routed, CandidateSet, ChainView, ErrorCode, MboxView, OptionsView,
+    PlanView, Point, Severity, VerifyError, VerifyReport, WeightColumn, WeightsView,
+};
+pub use reach::{
+    check_assertions, parse_assertions, walk_route, Assertion, AssertionResult, FlowClass,
+    HazardView, ProtoSet, ReachCode, ReachFinding, ReachReport, ReachView, ReachWitness,
+    RouteView, RuleView, StrategyView, Walk,
+};
+pub use witness::{
+    corpus_from_json, corpus_to_json, protocol_from_number, ReplayScenario, ReplayStep,
+    StepExpect, WitnessFlow,
 };

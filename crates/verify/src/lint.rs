@@ -22,6 +22,11 @@
 //!   rehash, deterministic iteration, bounded negative cache), not an ad
 //!   hoc hash map that reintroduces resize spikes and unbounded
 //!   exhaustion-attack memory.
+//! * **`set-iteration-order`** — `HashSet` *and* `FxHashSet` are banned
+//!   in the diagnostic crates ([`DIAGNOSTIC_CRATES`]): verifier reports
+//!   (`V0xx`/`R0xx`) are sorted, deduplicated and byte-diffed in CI, and
+//!   even a deterministic hasher iterates in insertion-history order,
+//!   not the documented sort order. Use `BTreeSet` or a sorted `Vec`.
 //! * **`unsafe-code`** — every crate root must carry
 //!   `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]`, and the
 //!   `unsafe` keyword must not appear in any scanned source. The
@@ -50,10 +55,20 @@ pub const RULE_HOT_PATH_PANIC: &str = "hot-path-panic";
 pub const RULE_UNSAFE_CODE: &str = "unsafe-code";
 /// Rule name for raw per-flow hash maps in the data plane.
 pub const RULE_PER_FLOW_MAP: &str = "per-flow-map";
+/// Rule name for iteration-order-dependent sets in diagnostic paths.
+pub const RULE_SET_ORDER: &str = "set-iteration-order";
 
 /// Crates whose sources form the deterministic data plane: default-hasher
 /// collections are banned here.
 pub const DATA_PLANE_CRATES: &[&str] = &["core", "netsim", "policy", "telemetry", "workload"];
+
+/// Crates whose output is a diagnostic report that must be byte-stable
+/// (sorted + deduplicated like the `V0xx`/`R0xx` codes): *any* hash-set
+/// type — `HashSet` **and** `FxHashSet` — is banned here, because even a
+/// deterministic hasher yields an iteration order that is an accident of
+/// insertion history, not the report's documented sort order. Use
+/// `BTreeSet` or an explicitly sorted `Vec`.
+pub const DIAGNOSTIC_CRATES: &[&str] = &["verify"];
 
 /// Path suffixes of the packet hot path, where `.unwrap()`/`.expect(` are
 /// flagged.
@@ -472,6 +487,7 @@ fn lint_source(rel: &str, crate_name: &str, text: &str, out: &mut Vec<LintViolat
     let in_test = |idx: usize| test_ranges.iter().any(|&(a, b)| idx >= a && idx < b);
 
     let data_plane = DATA_PLANE_CRATES.contains(&crate_name);
+    let diagnostic = DIAGNOSTIC_CRATES.contains(&crate_name);
     let hot_path = HOT_PATH_SUFFIXES.iter().any(|s| rel.ends_with(s));
     let clock_exempt = WALL_CLOCK_EXEMPT_SUFFIXES.iter().any(|s| rel.ends_with(s));
 
@@ -557,6 +573,20 @@ open-addressed FlowTable/OaTable (or annotate lint:allow(per-flow-map))"
                         .to_string(),
                 });
             }
+            "HashSet" | "FxHashSet"
+                if diagnostic && !allowed(&scan, *line, RULE_SET_ORDER) =>
+            {
+                out.push(LintViolation {
+                    rule: RULE_SET_ORDER,
+                    file: rel.to_string(),
+                    line: *line,
+                    detail: format!(
+                        "`{word}` iteration order is an accident of insertion \
+history; diagnostic output must be byte-stable — use BTreeSet or a sorted Vec \
+(or annotate lint:allow(set-iteration-order))"
+                    ),
+                });
+            }
             "unsafe" if !allowed(&scan, *line, RULE_UNSAFE_CODE) => {
                 out.push(LintViolation {
                     rule: RULE_UNSAFE_CODE,
@@ -639,6 +669,27 @@ mod tests {
         // Suppressed on the same line.
         let inline = "fn f(x: Option<u8>) { x.expect(\"y\"); } // lint:allow(hot-path-panic)\n";
         assert!(lint_str("crates/netsim/src/engine.rs", "netsim", inline).is_empty());
+    }
+
+    #[test]
+    fn set_iteration_order_banned_in_diagnostic_crates_only() {
+        let src = "use std::collections::HashSet;\n\
+fn f() { let s: HashSet<u32> = HashSet::new(); let t = FxHashSet::default(); }\n";
+        let hits = lint_str("crates/verify/src/reach.rs", "verify", src);
+        assert_eq!(hits.len(), 4, "{hits:?}");
+        assert!(hits.iter().all(|v| v.rule == RULE_SET_ORDER));
+        // Outside the diagnostic crates FxHashSet stays legal (and bare
+        // HashSet is the default-hasher rule's business, not this one's).
+        let hits = lint_str("crates/core/src/x.rs", "core", "fn f(s: FxHashSet<u8>) {}\n");
+        assert!(hits.is_empty(), "{hits:?}");
+        let hits = lint_str("crates/core/src/x.rs", "core", "fn f(s: HashSet<u8>) {}\n");
+        assert!(hits.iter().all(|v| v.rule == RULE_DEFAULT_HASHER), "{hits:?}");
+        // BTreeSet is the sanctioned container.
+        let hits = lint_str("crates/verify/src/reach.rs", "verify", "fn f(s: BTreeSet<u8>) {}\n");
+        assert!(hits.is_empty(), "{hits:?}");
+        // lint:allow suppresses.
+        let src = "fn f() { let s: FxHashSet<u8> = x; } // lint:allow(set-iteration-order)\n";
+        assert!(lint_str("crates/verify/src/x.rs", "verify", src).is_empty());
     }
 
     #[test]

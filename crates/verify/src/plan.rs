@@ -14,11 +14,14 @@
 //! adapts its `Controller`, `Assignments` and `SteeringWeights` into a
 //! `PlanView` and fail-fasts on a fatal report at construction time.
 
+use std::collections::BTreeSet;
 use std::fmt;
 
 use sdm_netsim::{Ipv4Addr, Prefix};
 use sdm_policy::NetworkFunction;
 use sdm_util::json::Json;
+
+use crate::reach::{walk_route, RouteView, Walk};
 
 /// Minimum MTU an IP-over-IP steering hop can work with: an outer header,
 /// an inner header, and at least one payload byte.
@@ -435,12 +438,30 @@ impl PlanView {
 }
 
 /// Runs every check over the view and returns the sorted report.
+///
+/// Steering-loop detection (V005) only sees the *declared* tunnel edges
+/// here; when a routing next-hop view is available, prefer
+/// [`verify_plan_routed`], which additionally walks the routed
+/// realization of every steering edge and so catches routing-induced
+/// loops this plan-only view cannot.
 pub fn verify_plan(view: &PlanView) -> VerifyReport {
+    verify_with(view, None)
+}
+
+/// Like [`verify_plan`], but `routes` — the same next-hop view the reach
+/// checker ([`crate::reach::check_assertions`]) consumes — lets the V005
+/// pass also walk the routed path realizing each steering edge, so
+/// plan-level and reach-level loop detection can never disagree.
+pub fn verify_plan_routed(view: &PlanView, routes: &dyn RouteView) -> VerifyReport {
+    verify_with(view, Some(routes))
+}
+
+fn verify_with(view: &PlanView, routes: Option<&dyn RouteView>) -> VerifyReport {
     let mut diags: Vec<VerifyError> = Vec::new();
     check_chains(view, &mut diags);
     check_function_coverage(view, &mut diags);
     check_candidate_totality(view, &mut diags);
-    check_steering_graph(view, &mut diags);
+    check_steering_graph(view, routes, &mut diags);
     check_weights(view, &mut diags);
     check_addressing(view, &mut diags);
     check_attachments(view, &mut diags);
@@ -572,7 +593,17 @@ the next function {next}",
 /// Detects IP-over-IP steering loops: following candidate sets for a
 /// function from box to box must terminate at a box that implements it.
 /// A cycle among non-implementing boxes would tunnel a packet forever.
-fn check_steering_graph(view: &PlanView, diags: &mut Vec<VerifyError>) {
+///
+/// When `routes` is given, additionally checks the *routed realization*
+/// of every steering edge: the tunnel from box `m` to candidate `s` is
+/// carried hop by hop by the underlying routers, and a forwarding
+/// micro-loop between their attachment routers loops the tunnel even
+/// when the candidate graph itself is acyclic.
+fn check_steering_graph(
+    view: &PlanView,
+    routes: Option<&dyn RouteView>,
+    diags: &mut Vec<VerifyError>,
+) {
     for f in view.used_functions() {
         // Successors of box m when steering towards f (only meaningful
         // while m does not implement f itself).
@@ -624,6 +655,44 @@ m{next} without reaching an implementing middlebox — an IP-over-IP tunnel loop
                 } else {
                     state[node as usize] = 2;
                     stack.pop();
+                }
+            }
+        }
+    }
+
+    let Some(routes) = routes else { return };
+    let budget = view.node_count.max(2);
+    let mut walked: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for f in view.used_functions() {
+        for m in 0..view.middleboxes.len() as u32 {
+            if view.middleboxes[m as usize].implements(f) {
+                continue;
+            }
+            let Some(c) = view.candidates_for(Point::Middlebox(m), f) else {
+                continue;
+            };
+            for &s in &c.members {
+                let Some(sb) = view.middleboxes.get(s as usize) else {
+                    continue; // dangling member: reported elsewhere
+                };
+                let from = view.middleboxes[m as usize].router as u32;
+                let to = sb.router as u32;
+                if from == to || !walked.insert((from, to)) {
+                    continue;
+                }
+                if let Walk::Looped(path) = walk_route(routes, from, to, budget) {
+                    diags.push(VerifyError {
+                        code: ErrorCode::SteeringLoop,
+                        subject: format!("tunnel(m{m}->m{s})"),
+                        detail: format!(
+                            "routing loops the steering tunnel from n{from} to \
+n{to} ({}); the declared edge never arrives",
+                            path.iter()
+                                .map(|n| format!("n{n}"))
+                                .collect::<Vec<_>>()
+                                .join("->")
+                        ),
+                    });
                 }
             }
         }
@@ -1014,5 +1083,69 @@ mod tests {
         assert_eq!(wire.len(), all.len(), "codes must be unique");
         assert_eq!(ErrorCode::ChainRepeatsFunction.as_str(), "V001");
         assert_eq!(ErrorCode::DanglingAttachment.as_str(), "V015");
+    }
+
+    /// A next-hop table where every route works except the ones named in
+    /// `oscillate`, which ping-pong between the two endpoints' first hops.
+    struct LoopyRoutes {
+        nodes: u32,
+        /// Walks towards these destinations oscillate between the first
+        /// two nodes instead of progressing.
+        bad_dsts: Vec<u32>,
+    }
+
+    impl RouteView for LoopyRoutes {
+        fn next_hop(&self, from: u32, dst: u32) -> Option<u32> {
+            if from == dst || dst >= self.nodes {
+                return None;
+            }
+            if self.bad_dsts.contains(&dst) {
+                // n1 <-> n2 ping-pong, never reaching dst.
+                return Some(if from == 1 { 2 } else { 1 });
+            }
+            Some(dst) // direct single-hop delivery otherwise
+        }
+        fn dist(&self, from: u32, dst: u32) -> Option<u32> {
+            if from == dst {
+                Some(0)
+            } else {
+                Some(1)
+            }
+        }
+    }
+
+    /// Regression (PR 10 satellite): a routing-induced loop on the path
+    /// realizing a declared steering edge is invisible to the plan-only
+    /// V005 pass but must be caught once the checker consumes the same
+    /// next-hop view as the reach tier.
+    #[test]
+    fn routed_loop_invisible_to_plan_view_is_caught_by_verify_plan_routed() {
+        let view = healthy();
+        // healthy(): m2 (IDS @ n2) declares FW candidates m0 (n0), m1 (n1),
+        // so the tunnel m2 -> m0 rides the routed path n2 -> n0. Poison
+        // every route towards n0: walks ping-pong n1 <-> n2 forever.
+        let routes = LoopyRoutes {
+            nodes: 3,
+            bad_dsts: vec![0],
+        };
+        assert!(
+            verify_plan(&view).is_clean(),
+            "the plan-only view cannot see the routed loop"
+        );
+        let routed = verify_plan_routed(&view, &routes);
+        assert!(routed.has_code(ErrorCode::SteeringLoop), "{routed}");
+        let diag = routed
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == ErrorCode::SteeringLoop)
+            .unwrap();
+        assert!(diag.subject.starts_with("tunnel("), "{}", diag.subject);
+
+        // With healthy routing the routed pass agrees with the plan view.
+        let ok = LoopyRoutes {
+            nodes: 3,
+            bad_dsts: vec![],
+        };
+        assert!(verify_plan_routed(&view, &ok).is_clean());
     }
 }

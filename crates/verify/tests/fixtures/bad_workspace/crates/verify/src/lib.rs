@@ -1,0 +1,14 @@
+// Deliberately broken verify-crate fixture: a diagnostic pass that
+// accumulates findings in a hash set, so the emitted report's order is
+// an accident of insertion history instead of the documented sort.
+// Proves the set-iteration-order rule covers the diagnostic crates.
+// Never compiled.
+#![forbid(unsafe_code)]
+
+use std::collections::HashSet;
+
+pub fn collect_findings(seen: &mut HashSet<String>) -> Vec<String> {
+    // rule: set-iteration-order (HashSet above and FxHashSet below)
+    let extra: FxHashSet<String> = FxHashSet::default();
+    seen.iter().chain(extra.iter()).cloned().collect()
+}

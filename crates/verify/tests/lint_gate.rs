@@ -27,6 +27,7 @@ fn fixture_trips_every_rule() {
         sdm_verify::lint::RULE_HOT_PATH_PANIC,
         sdm_verify::lint::RULE_UNSAFE_CODE,
         sdm_verify::lint::RULE_PER_FLOW_MAP,
+        sdm_verify::lint::RULE_SET_ORDER,
     ] {
         assert!(
             rules.contains(&rule),
@@ -65,6 +66,26 @@ fn telemetry_fixture_trips_wall_clock_and_hasher() {
             .iter()
             .any(|v| v.rule == sdm_verify::lint::RULE_DEFAULT_HASHER),
         "HashMap in the telemetry fixture must trip default-hasher: {telemetry:?}"
+    );
+}
+
+/// The verify crate itself is covered by the gate (PR-10 — the reach
+/// tier joined [`sdm_verify::lint::DIAGNOSTIC_CRATES`]): both `HashSet`
+/// and `FxHashSet` in a diagnostic path must be rejected, since report
+/// order must come from the documented sort, not hasher accidents.
+#[test]
+fn verify_fixture_trips_set_iteration_order() {
+    let violations =
+        lint_workspace(&LintConfig::new(fixture_root())).expect("fixture scan succeeds");
+    let verify: Vec<_> = violations
+        .iter()
+        .filter(|v| v.file.contains("crates/verify/"))
+        .collect();
+    assert!(
+        verify
+            .iter()
+            .any(|v| v.rule == sdm_verify::lint::RULE_SET_ORDER),
+        "hash sets in the verify fixture must trip set-iteration-order: {verify:?}"
     );
 }
 
